@@ -1,0 +1,61 @@
+// Ablation A1: canvas size sweep.  The paper fixes M = N = 1024 and notes
+// the canvas size "can be experientially determined based on the camera's
+// resolution"; this bench quantifies that choice: small canvases fragment
+// patches and lose batching leverage, large canvases waste GPU memory per
+// batch slot (fewer canvases fit the function instance).
+
+#include <iostream>
+
+#include "common/table.h"
+#include "experiments/harness.h"
+
+using namespace tangram;
+
+int main() {
+  std::cout << "Ablation: canvas size (Tangram, 5 cameras, 40 Mbps, "
+               "SLO = 1.0 s)\n\n";
+
+  std::vector<experiments::SceneTrace> traces;
+  std::vector<const experiments::SceneTrace*> cameras;
+
+  common::Table table({"Canvas", "max batch", "Cost ($)", "Violation (%)",
+                       "eff mean", "patches/batch p50", "invocations"});
+  for (const int side : {512, 768, 1024, 1280, 1536}) {
+    // Patch tiling depends on the canvas, so traces are rebuilt per size.
+    traces.clear();
+    cameras.clear();
+    for (int idx = 1; idx <= 5; ++idx) {
+      experiments::TraceConfig trace_config;
+      trace_config.canvas = {side, side};
+      traces.push_back(
+          experiments::build_trace(video::panda4k_scene(idx), trace_config));
+    }
+    for (const auto& t : traces) cameras.push_back(&t);
+
+    experiments::EndToEndConfig config;
+    config.bandwidth_mbps = 40.0;
+    config.slo_s = 1.0;
+    config.canvas = {side, side};
+    const auto result = experiments::run_end_to_end(
+        cameras, experiments::StrategyKind::kTangram, config);
+
+    sim::Simulator probe_sim;
+    serverless::FunctionPlatform probe(probe_sim, config.platform);
+    table.add_row(
+        {std::to_string(side) + "x" + std::to_string(side),
+         std::to_string(probe.max_canvases_per_batch({side, side})),
+         common::Table::num(result.total_cost, 4),
+         common::Table::num(result.violation_rate() * 100.0, 2),
+         common::Table::num(result.canvas_efficiency.mean(), 3),
+         common::Table::num(result.batch_patches.quantile(0.5), 1),
+         std::to_string(result.invocations)});
+  }
+  table.print();
+
+  std::cout << "\nExpected: cost grows with canvas size (coarser batch-slot "
+               "granularity wastes GPU memory and canvas area), while very "
+               "small canvases tile large patches into more pieces.  The "
+               "paper's 1024x1024 default trades a modest cost premium for "
+               "patches that almost never need tiling on 4K input.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation A4 (robustness): SLO violations and cost under serverless fault
+// injection — execution stragglers and retried transient failures — for two
+// slack settings.  Shows how much real-world platform noise the mu + k*sigma
+// estimator absorbs, and what the extra conservatism costs.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "experiments/harness.h"
+
+using namespace tangram;
+
+int main() {
+  std::cout << "Ablation: robustness to platform faults (Tangram, 5 cameras, "
+               "40 Mbps, SLO = 1.0 s)\n\n";
+
+  std::vector<experiments::SceneTrace> traces;
+  for (int idx = 1; idx <= 5; ++idx) {
+    experiments::TraceConfig trace_config;
+    traces.push_back(
+        experiments::build_trace(video::panda4k_scene(idx), trace_config));
+  }
+  std::vector<const experiments::SceneTrace*> cameras;
+  for (const auto& t : traces) cameras.push_back(&t);
+
+  struct Fault {
+    const char* name;
+    double straggler_p;
+    double straggler_x;
+    double failure_p;
+  };
+  const Fault faults[] = {
+      {"none", 0.0, 1.0, 0.0},
+      {"stragglers 5% @2x", 0.05, 2.0, 0.0},
+      {"stragglers 15% @3x", 0.15, 3.0, 0.0},
+      {"failures 5% (retried)", 0.0, 1.0, 0.05},
+      {"stragglers+failures", 0.10, 2.5, 0.05},
+  };
+
+  common::Table table({"Fault profile", "k", "Cost ($)", "Violation (%)",
+                       "stragglers", "retries"});
+  for (const auto& fault : faults) {
+    for (const double k : {3.0, 5.0}) {
+      experiments::EndToEndConfig config;
+      config.bandwidth_mbps = 40.0;
+      config.slo_s = 1.0;
+      config.slack_sigma = k;
+      config.platform.faults.straggler_probability = fault.straggler_p;
+      config.platform.faults.straggler_factor = fault.straggler_x;
+      config.platform.faults.failure_probability = fault.failure_p;
+      const auto r = experiments::run_end_to_end(
+          cameras, experiments::StrategyKind::kTangram, config);
+      table.add_row({fault.name, common::Table::num(k, 0),
+                     common::Table::num(r.total_cost, 4),
+                     common::Table::num(r.violation_rate() * 100.0, 2),
+                     std::to_string(r.stragglers),
+                     std::to_string(r.retries)});
+    }
+  }
+  table.print();
+
+  std::cout << "\nExpected: mild straggling and retried failures stay near "
+               "the paper's 5% violation budget, but heavy stragglers break "
+               "through regardless of k — a 3x outlier is simply not in the "
+               "offline-profiled latency distribution that Eqn. (9)'s "
+               "mu + k*sigma summarizes.  This is the estimator's structural "
+               "blind spot: it protects against profiled variance, not "
+               "unprofiled tail events.\n";
+  return 0;
+}

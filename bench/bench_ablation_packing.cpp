@@ -1,0 +1,80 @@
+// Ablation A3: packing heuristic.  Compares the paper's guillotine
+// Best-Short-Side-Fit stitcher against a first-fit shelf packer and the
+// no-stitching (one patch per canvas) strawman, both offline (packing
+// quality on identical patch sets) and end-to-end (cost impact).
+
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/stitcher.h"
+#include "experiments/harness.h"
+
+using namespace tangram;
+
+int main() {
+  std::cout << "Ablation: patch-stitching heuristic\n\n";
+
+  std::vector<experiments::SceneTrace> traces;
+  for (int idx = 1; idx <= 5; ++idx) {
+    experiments::TraceConfig trace_config;
+    traces.push_back(
+        experiments::build_trace(video::panda4k_scene(idx), trace_config));
+  }
+  std::vector<const experiments::SceneTrace*> cameras;
+  for (const auto& t : traces) cameras.push_back(&t);
+
+  struct Variant {
+    const char* name;
+    core::PackHeuristic heuristic;
+  };
+  const Variant variants[] = {
+      {"Guillotine-BSSF (paper)", core::PackHeuristic::kGuillotineBssf},
+      {"Skyline bottom-left", core::PackHeuristic::kSkylineBottomLeft},
+      {"Shelf first-fit", core::PackHeuristic::kShelfFirstFit},
+      {"One patch per canvas", core::PackHeuristic::kOnePerCanvas},
+  };
+
+  // --- offline packing quality --------------------------------------------
+  std::cout << "Offline: canvases needed per frame (5 scenes, 4x4 grid)\n\n";
+  common::Table offline({"Heuristic", "canvases/frame mean", "efficiency mean"});
+  for (const auto& v : variants) {
+    const core::StitchSolver solver(v.heuristic);
+    common::RunningStats canvases, efficiency;
+    for (const auto& trace : traces) {
+      for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+        const auto& f = trace.eval_frame(i);
+        if (f.patches.empty()) continue;
+        std::vector<common::Size> sizes;
+        for (const auto& p : f.patches) sizes.push_back(p.size());
+        const auto packing = solver.pack(sizes, {1024, 1024});
+        canvases.add(packing.canvas_count);
+        efficiency.add(packing.efficiency({1024, 1024}, sizes));
+      }
+    }
+    offline.add_row({v.name, common::Table::num(canvases.mean(), 2),
+                     common::Table::num(efficiency.mean(), 3)});
+  }
+  offline.print();
+
+  // --- end-to-end cost ---------------------------------------------------
+  std::cout << "\nEnd-to-end (40 Mbps, SLO = 1.0 s)\n\n";
+  common::Table e2e({"Heuristic", "Cost ($)", "Violation (%)", "invocations"});
+  for (const auto& v : variants) {
+    experiments::EndToEndConfig config;
+    config.bandwidth_mbps = 40.0;
+    config.slo_s = 1.0;
+    config.heuristic = v.heuristic;
+    const auto result = experiments::run_end_to_end(
+        cameras, experiments::StrategyKind::kTangram, config);
+    e2e.add_row({v.name, common::Table::num(result.total_cost, 4),
+                 common::Table::num(result.violation_rate() * 100.0, 2),
+                 std::to_string(result.invocations)});
+  }
+  e2e.print();
+
+  std::cout << "\nExpected: BSSF needs the fewest canvases; shelf packing is "
+               "close behind; one-per-canvas inflates cost the way ELF's "
+               "unbatched inference does.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 13: canvas efficiency under different bandwidth and SLO
+// configurations.  Higher SLOs and higher bandwidths both give the stitcher
+// more patches to choose from before the deadline forces an invocation, so
+// the efficiency CDF shifts right.
+
+#include <iostream>
+
+#include "common/table.h"
+#include "experiments/harness.h"
+
+using namespace tangram;
+
+int main() {
+  std::cout << "Fig. 13: canvas efficiency vs bandwidth and SLO "
+               "(Tangram, 4 cameras)\n\n";
+
+  std::vector<experiments::SceneTrace> traces;
+  for (const int idx : {1, 3, 5, 7}) {
+    experiments::TraceConfig trace_config;
+    traces.push_back(
+        experiments::build_trace(video::panda4k_scene(idx), trace_config));
+  }
+  std::vector<const experiments::SceneTrace*> cameras;
+  for (const auto& t : traces) cameras.push_back(&t);
+
+  struct Sweep {
+    double bandwidth;
+    std::vector<double> slos;
+  };
+  const Sweep sweeps[] = {
+      {20.0, {1.0, 1.1, 1.2, 1.3, 1.4}},
+      {40.0, {0.8, 0.9, 1.0, 1.1, 1.2}},
+      {80.0, {0.6, 0.7, 0.8, 0.9, 1.0}},
+  };
+
+  for (const auto& sweep : sweeps) {
+    std::cout << "Bandwidth = " << sweep.bandwidth << " Mbps\n";
+    common::Table table({"SLO (s)", "eff p25", "p50", "p75", "mean",
+                         "frac >= 0.6"});
+    for (const double slo : sweep.slos) {
+      experiments::EndToEndConfig config;
+      config.bandwidth_mbps = sweep.bandwidth;
+      config.slo_s = slo;
+      const auto result = experiments::run_end_to_end(
+          cameras, experiments::StrategyKind::kTangram, config);
+      const auto& eff = result.canvas_efficiency;
+      table.add_row({common::Table::num(slo, 1),
+                     common::Table::num(eff.quantile(0.25), 3),
+                     common::Table::num(eff.quantile(0.5), 3),
+                     common::Table::num(eff.quantile(0.75), 3),
+                     common::Table::num(eff.mean(), 3),
+                     common::Table::num(1.0 - eff.cdf(0.6), 3)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+
+  std::cout << "Paper reference: efficiency rises with SLO at fixed "
+               "bandwidth, and with bandwidth at fixed SLO (at SLO=1.0s the "
+               "fraction of canvases above 0.6 efficiency grows ~50% -> 80% "
+               "-> 86% across 20/40/80 Mbps).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Fig. 14: a deep dive into Tangram's batching behaviour at
+// SLO = 1.0 s under 20/40/80 Mbps.
+//  (a) distribution of function execution latency per batch;
+//  (b) distribution of the number of patches per batch;
+//  (c) latency breakdown: total transmission time vs total execution time;
+//  (d) joint distribution of patches vs canvases per batch (heat map), and
+//      the amortized per-patch latency.
+
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments/harness.h"
+
+using namespace tangram;
+
+int main() {
+  std::cout << "Fig. 14: Tangram batching insight (SLO = 1.0 s)\n\n";
+
+  std::vector<experiments::SceneTrace> traces;
+  for (const int idx : {1, 3, 5, 7}) {
+    experiments::TraceConfig trace_config;
+    traces.push_back(
+        experiments::build_trace(video::panda4k_scene(idx), trace_config));
+  }
+  std::vector<const experiments::SceneTrace*> cameras;
+  for (const auto& t : traces) cameras.push_back(&t);
+
+  common::Table summary({"Bandwidth", "exec p10 (s)", "p50", "p90",
+                         "patches/batch p50", "p90", "amortized s/patch",
+                         "tx total (s)", "exec total (s)"});
+
+  experiments::RunResult run80;
+  for (const double bw : {20.0, 40.0, 80.0}) {
+    experiments::EndToEndConfig config;
+    config.bandwidth_mbps = bw;
+    config.slo_s = 1.0;
+    auto result = experiments::run_end_to_end(
+        cameras, experiments::StrategyKind::kTangram, config);
+
+    const double amortized =
+        result.execution_busy_s / static_cast<double>(result.completed_items);
+    summary.add_row({common::Table::num(bw, 0) + " Mbps",
+                     common::Table::num(result.exec_latency.quantile(0.1), 3),
+                     common::Table::num(result.exec_latency.quantile(0.5), 3),
+                     common::Table::num(result.exec_latency.quantile(0.9), 3),
+                     common::Table::num(result.batch_patches.quantile(0.5), 1),
+                     common::Table::num(result.batch_patches.quantile(0.9), 1),
+                     common::Table::num(amortized, 4),
+                     common::Table::num(result.transmission_busy_s, 1),
+                     common::Table::num(result.execution_busy_s, 1)});
+    if (bw == 80.0) run80 = std::move(result);
+  }
+  summary.print();
+
+  // (d) joint patches x canvases heat map at 80 Mbps.
+  std::cout << "\nFig. 14(d): batches by #canvases (rows) x #patches "
+               "(columns of 5), 80 Mbps\n\n";
+  const auto& canvases = run80.batch_canvases.values();
+  const auto& patches = run80.batch_patches.values();
+  constexpr int kMaxCanvas = 9, kPatchBuckets = 9;
+  std::vector<std::vector<int>> heat(kMaxCanvas,
+                                     std::vector<int>(kPatchBuckets, 0));
+  for (std::size_t i = 0; i < canvases.size(); ++i) {
+    const int c =
+        std::clamp(static_cast<int>(canvases[i]) - 1, 0, kMaxCanvas - 1);
+    const int p = std::clamp(static_cast<int>((patches[i] - 1) / 5.0), 0,
+                             kPatchBuckets - 1);
+    ++heat[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
+  }
+  std::vector<std::string> headers{"#canvas"};
+  for (int p = 0; p < kPatchBuckets; ++p)
+    headers.push_back(std::to_string(p * 5 + 1) + "-" +
+                      std::to_string(p * 5 + 5));
+  common::Table heat_table(std::move(headers));
+  for (int c = 0; c < kMaxCanvas; ++c) {
+    int row_total = 0;
+    for (const int v : heat[static_cast<std::size_t>(c)]) row_total += v;
+    std::vector<std::string> row{std::to_string(c + 1)};
+    for (const int v : heat[static_cast<std::size_t>(c)])
+      row.push_back(row_total ? common::Table::num(
+                                    static_cast<double>(v) / row_total, 2)
+                              : "-");
+    heat_table.add_row(std::move(row));
+  }
+  heat_table.print();
+
+  std::cout << "\nPaper reference: exec latency 0.1-0.5 s per batch; larger "
+               "bandwidth -> bigger batches but lower amortized per-patch "
+               "latency (0.0252 / 0.0223 / 0.0213 s); patch and canvas "
+               "counts positively correlated.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Reproduces Fig. 2: why existing approaches fall short on high-resolution
+// video.
+//  (a) accuracy decline of server-driven and content-aware pipelines vs
+//      full-frame inference on five scenes;
+//  (b) average per-RoI inference latency as the number of cameras served by
+//      one fixed GPU server grows from 1 to 5 (IaaS provisioning: a single
+//      always-on instance, requests queue FIFO).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments/accuracy.h"
+#include "experiments/trace.h"
+#include "serverless/latency_model.h"
+
+using namespace tangram;
+
+namespace {
+
+// Part (b): a fixed IaaS deployment — the paper's testbed has two RTX 4090
+// GPUs — serving `num_cameras` cameras that each produce the scene-1 RoI
+// stream at 1 fps; FIFO service, per-RoI inference.
+double average_roi_latency(const experiments::SceneTrace& trace,
+                           int num_cameras, int num_servers = 1) {
+  serverless::InferenceLatencyModel model(
+      {}, common::Rng(42 + static_cast<unsigned>(num_cameras), 3));
+
+  std::vector<double> server_free_at(static_cast<std::size_t>(num_servers),
+                                     0.0);
+  common::RunningStats latency;
+
+  // Interleave camera streams (staggered phases) and serve FIFO.
+  struct Arrival {
+    double time;
+    double megapixels;
+  };
+  std::vector<Arrival> arrivals;
+  for (int cam = 0; cam < num_cameras; ++cam) {
+    const double phase = static_cast<double>(cam) / num_cameras;
+    for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+      const auto& frame = trace.eval_frame(i);
+      for (const auto& roi : frame.rois) {
+        arrivals.push_back(
+            {static_cast<double>(i) + phase,
+             static_cast<double>(roi.area()) / 1.0e6});
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+
+  // The fixed IaaS server keeps the model resident; no per-request
+  // serverless overhead, so scale the per-image cost accordingly.
+  constexpr double kResidentModelDiscount = 0.75;
+  for (const auto& a : arrivals) {
+    // Dispatch to the server that frees up first.
+    auto next = std::min_element(server_free_at.begin(), server_free_at.end());
+    const double start = std::max(a.time, *next);
+    const double exec =
+        kResidentModelDiscount * model.sample_image_latency(a.megapixels);
+    *next = start + exec;
+    latency.add(*next - a.time);
+  }
+  return latency.mean();
+}
+
+}  // namespace
+
+int main() {
+  // --- (a) accuracy decline ---------------------------------------------
+  std::cout << "Fig. 2(a): AP@0.5 of server-driven / content-aware / full "
+               "frame on five scenes\n\n";
+  common::Table table_a(
+      {"Scene", "Server-driven", "Content-aware", "Full Frame"});
+  common::RunningStats drop_server, drop_content;
+  for (int idx = 1; idx <= 5; ++idx) {
+    experiments::TraceConfig config;
+    // Content-aware single-round offloading (VaBuS-style background
+    // understanding): the edge's own subtractor picks the RoIs.
+    config.extractor = "GMM";
+    const auto trace =
+        experiments::build_trace(video::panda4k_scene(idx), config);
+    experiments::AccuracyConfig acc;
+    const double full = experiments::full_frame_ap(trace, acc);
+    const double server = experiments::server_driven_ap(trace, 0.25, acc);
+    const double content = experiments::content_aware_ap(trace, acc);
+    drop_server.add((full - server) / full);
+    drop_content.add((full - content) / full);
+    table_a.add_row({"scene_0" + std::to_string(idx),
+                     common::Table::num(server, 2),
+                     common::Table::num(content, 2),
+                     common::Table::num(full, 2)});
+  }
+  table_a.print();
+  std::cout << "Mean decline vs full frame: server-driven "
+            << common::Table::pct(drop_server.mean()) << ", content-aware "
+            << common::Table::pct(drop_content.mean())
+            << " (paper: 23.9% and 14.1%)\n\n";
+
+  // --- (b) latency vs #cameras ---------------------------------------------
+  std::cout << "Fig. 2(b): average per-RoI latency vs camera count (single "
+               "IaaS GPU server)\n\n";
+  experiments::TraceConfig config;
+  const auto trace =
+      experiments::build_trace(video::panda4k_scene(1), config);
+  common::Table table_b({"#Cameras", "Avg RoI latency (ms)"});
+  for (int cams = 1; cams <= 5; ++cams) {
+    table_b.add_row(
+        {std::to_string(cams),
+         common::Table::num(average_roi_latency(trace, cams) * 1000.0, 1)});
+  }
+  table_b.print();
+  std::cout << "Paper reference: 59.1 -> 325.8 ms as cameras grow 1 -> 5 "
+               "(super-linear queueing escalation).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Fig. 3: the fluctuation of video inference workloads.
+//  (a) temporal variation of the RoI proportion in each of the ten scenes
+//      (printed as a per-scene summary plus a decimated series);
+//  (b) the CDF of RoI proportion across all scenes.
+
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments/trace.h"
+
+using namespace tangram;
+
+int main() {
+  std::cout << "Fig. 3: variation of video inference workloads\n\n";
+
+  common::Sampler all_props;
+  common::Table summary({"Scene", "min", "mean", "max", "stddev", "peak/mean"});
+  std::vector<std::vector<double>> series_rows;
+
+  for (const auto& spec : video::panda4k_catalog()) {
+    // Ground-truth-only statistics; no pixel pipeline needed.
+    const auto frames = video::SyntheticScene::generate_all(spec);
+    common::Sampler prop;
+    for (const auto& f : frames) prop.add(f.roi_proportion(spec.frame));
+    for (const auto& v : prop.values()) all_props.add(v);
+
+    summary.add_row(
+        {"scene_" + std::to_string(spec.index),
+         common::Table::num(prop.stats().min(), 3),
+         common::Table::num(prop.mean(), 3),
+         common::Table::num(prop.stats().max(), 3),
+         common::Table::num(prop.stddev(), 3),
+         common::Table::num(prop.stats().max() / prop.mean(), 2)});
+  }
+  summary.print();
+
+  std::cout << "\nFig. 3(a) series (scene_01, every 10th frame):\n";
+  {
+    const auto frames =
+        video::SyntheticScene::generate_all(video::panda4k_scene(1));
+    std::vector<std::vector<double>> rows;
+    for (std::size_t i = 0; i < frames.size(); i += 10)
+      rows.push_back({static_cast<double>(i),
+                      frames[i].roi_proportion({3840, 2160})});
+    common::print_series("roi proportion over time",
+                         {"frame", "roi_proportion"}, rows);
+  }
+
+  std::cout << "\nFig. 3(b): CDF of RoI proportion (all scenes)\n";
+  std::vector<std::vector<double>> cdf_rows;
+  for (const auto& [x, p] : all_props.cdf_series(15)) cdf_rows.push_back({x, p});
+  common::print_series("CDF of RoI proportion", {"roi_proportion", "cdf"},
+                       cdf_rows);
+
+  std::cout << "\nPaper reference: proportions fluctuate irregularly in the "
+               "~0.05-0.15 band with occasional peaks; no predictable "
+               "pattern.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot components —
+// the patch-stitching solver (re-run on every arrival, Algorithm 2 line 8),
+// adaptive frame partitioning, GMM background subtraction, the event queue,
+// and the latency estimator lookup.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/estimator.h"
+#include "core/partitioner.h"
+#include "core/stitcher.h"
+#include "sim/simulator.h"
+#include "video/raster.h"
+#include "video/scene_catalog.h"
+#include "vision/gmm.h"
+
+using namespace tangram;
+
+namespace {
+
+std::vector<common::Size> random_patches(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed, 9);
+  std::vector<common::Size> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform_int(40, 900), rng.uniform_int(60, 1000)});
+  }
+  return out;
+}
+
+void BM_StitchSolverPack(benchmark::State& state) {
+  const auto patches =
+      random_patches(static_cast<std::size_t>(state.range(0)), 11);
+  const core::StitchSolver solver;
+  for (auto _ : state) {
+    auto result = solver.pack(patches, {1024, 1024});
+    benchmark::DoNotOptimize(result.canvas_count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StitchSolverPack)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PartitionFrame(benchmark::State& state) {
+  common::Rng rng(7, 3);
+  std::vector<common::Rect> rois;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    rois.push_back({rng.uniform_int(0, 3600), rng.uniform_int(0, 2000),
+                    rng.uniform_int(20, 240), rng.uniform_int(40, 480)});
+  }
+  const core::PartitionConfig config;
+  for (auto _ : state) {
+    auto patches = core::partition_patches({3840, 2160}, rois, config);
+    benchmark::DoNotOptimize(patches.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionFrame)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_GmmApply(benchmark::State& state) {
+  auto spec = video::test_scene(5);
+  spec.frame = {1920, 1080};
+  video::SyntheticScene scene(spec);
+  video::RasterConfig raster_config;
+  raster_config.analysis = {static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(0)) * 9 / 16};
+  video::FrameRasterizer rasterizer(spec.frame, raster_config);
+  vision::GmmBackgroundSubtractor gmm(raster_config.analysis);
+
+  std::vector<video::Image> frames;
+  for (int i = 0; i < 8; ++i) frames.push_back(rasterizer.render(scene.next_frame()));
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto mask = gmm.apply(frames[i % frames.size()]);
+    benchmark::DoNotOptimize(mask.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          raster_config.analysis.area());
+}
+BENCHMARK(BM_GmmApply)->Arg(320)->Arg(480)->Arg(960);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    common::Rng rng(3, 1);
+    int fired = 0;
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+      sim.schedule_at(rng.uniform(0.0, 100.0), [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void BM_EstimatorSlack(benchmark::State& state) {
+  serverless::InferenceLatencyModel model;
+  core::LatencyEstimator::Config config;
+  config.iterations = 200;
+  const core::LatencyEstimator estimator(model, {1024, 1024}, config);
+  int b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.slack(b));
+    b = b % 16 + 1;
+  }
+}
+BENCHMARK(BM_EstimatorSlack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Reproduces Table IV: comparison of RoI extraction methods — AP with raw
+// RoIs, AP with adaptive frame partitioning applied on top, and bandwidth
+// consumption relative to full-frame transmission.  Averaged over the five
+// scenes the paper uses for the motivation study.
+
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "experiments/accuracy.h"
+#include "experiments/trace.h"
+
+using namespace tangram;
+
+int main() {
+  std::cout << "Table IV: RoI extraction methods (mean over scenes 1-5)\n\n";
+
+  const char* methods[] = {"GMM", "OpticalFlow", "SSDLite-MobileNetV2",
+                           "Yolov3-MobileNetV2"};
+
+  common::Table table({"Method", "RoI AP", "+Partition AP", "BW Cons. (%)"});
+  double full_ap_mean = 0.0;
+
+  for (const char* method : methods) {
+    common::RunningStats roi_ap, part_ap, bw;
+    common::RunningStats full_ap;
+    for (int idx = 1; idx <= 5; ++idx) {
+      experiments::TraceConfig config;
+      config.extractor = method;
+      // Table IV uses the 2x2 partition configuration (its GMM bandwidth,
+      // 67.99%, matches Table II's 2x2 column averaged over these scenes).
+      config.partition.zones_x = 2;
+      config.partition.zones_y = 2;
+      const auto trace =
+          experiments::build_trace(video::panda4k_scene(idx), config);
+
+      experiments::AccuracyConfig acc;
+      roi_ap.add(experiments::roi_only_ap(trace, acc));
+      part_ap.add(experiments::partitioned_ap(trace, acc));
+      full_ap.add(experiments::full_frame_ap(trace, acc));
+
+      std::size_t patch_bytes = 0, full_bytes = 0;
+      for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+        patch_bytes += trace.eval_frame(i).total_patch_bytes();
+        full_bytes += trace.eval_frame(i).full_frame_bytes;
+      }
+      bw.add(100.0 * static_cast<double>(patch_bytes) / full_bytes);
+    }
+    full_ap_mean = full_ap.mean();
+    table.add_row({method, common::Table::num(roi_ap.mean(), 3),
+                   common::Table::num(part_ap.mean(), 3),
+                   common::Table::num(bw.mean(), 2)});
+  }
+  table.print();
+
+  std::cout << "\nFull-frame reference AP: "
+            << common::Table::num(full_ap_mean, 3) << " (paper: 0.60)\n";
+  std::cout << "Paper reference: GMM 0.515/0.678/67.99%, OpticalFlow "
+               "0.480/0.669/77.27%, SSDLite 0.436/0.637/82.26%, Yolov3 "
+               "0.397/0.583/54.81%; partitioning lifts every method.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Integer rectangle geometry used throughout Tangram.
+//
+// All frame-space coordinates in this codebase are expressed in pixels of the
+// native capture resolution (e.g. 3840x2160 for the PANDA4K-style scenes)
+// unless a function explicitly documents otherwise.  Rectangles are half-open
+// on neither side: a Rect{x, y, w, h} covers pixel columns [x, x+w) and rows
+// [y, y+h).
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace tangram::common {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+struct Size {
+  int width = 0;
+  int height = 0;
+
+  [[nodiscard]] std::int64_t area() const {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  [[nodiscard]] bool empty() const { return width <= 0 || height <= 0; }
+
+  friend bool operator==(const Size&, const Size&) = default;
+};
+
+// Axis-aligned rectangle.  Width/height may be zero (empty).
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  Rect() = default;
+  Rect(int x_, int y_, int w_, int h_) : x(x_), y(y_), width(w_), height(h_) {}
+
+  [[nodiscard]] static Rect from_corners(int x0, int y0, int x1, int y1) {
+    return Rect{x0, y0, x1 - x0, y1 - y0};
+  }
+
+  [[nodiscard]] int left() const { return x; }
+  [[nodiscard]] int top() const { return y; }
+  [[nodiscard]] int right() const { return x + width; }    // exclusive
+  [[nodiscard]] int bottom() const { return y + height; }  // exclusive
+
+  [[nodiscard]] std::int64_t area() const {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  [[nodiscard]] bool empty() const { return width <= 0 || height <= 0; }
+  [[nodiscard]] Size size() const { return Size{width, height}; }
+  [[nodiscard]] Point center() const {
+    return Point{x + width / 2, y + height / 2};
+  }
+
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+  [[nodiscard]] bool contains(const Rect& r) const {
+    return !r.empty() && r.x >= x && r.y >= y && r.right() <= right() &&
+           r.bottom() <= bottom();
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Rect& r) {
+    return os << "[" << r.x << "," << r.y << " " << r.width << "x" << r.height
+              << "]";
+  }
+};
+
+// Intersection; empty Rect (w==h==0) when disjoint.
+[[nodiscard]] inline Rect intersect(const Rect& a, const Rect& b) {
+  const int x0 = std::max(a.x, b.x);
+  const int y0 = std::max(a.y, b.y);
+  const int x1 = std::min(a.right(), b.right());
+  const int y1 = std::min(a.bottom(), b.bottom());
+  if (x1 <= x0 || y1 <= y0) return Rect{};
+  return Rect::from_corners(x0, y0, x1, y1);
+}
+
+// Smallest rectangle covering both operands.  An empty operand is treated as
+// the identity, so unions can be folded starting from Rect{}.
+[[nodiscard]] inline Rect bounding_union(const Rect& a, const Rect& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return Rect::from_corners(std::min(a.x, b.x), std::min(a.y, b.y),
+                            std::max(a.right(), b.right()),
+                            std::max(a.bottom(), b.bottom()));
+}
+
+[[nodiscard]] inline std::int64_t overlap_area(const Rect& a, const Rect& b) {
+  return intersect(a, b).area();
+}
+
+[[nodiscard]] inline bool overlaps(const Rect& a, const Rect& b) {
+  return overlap_area(a, b) > 0;
+}
+
+// Intersection-over-union; 0 when both rectangles are empty.
+[[nodiscard]] inline double iou(const Rect& a, const Rect& b) {
+  const std::int64_t inter = overlap_area(a, b);
+  const std::int64_t uni = a.area() + b.area() - inter;
+  if (uni <= 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+// Clamp r so it lies fully inside bounds (possibly producing an empty rect).
+[[nodiscard]] inline Rect clamp_to(const Rect& r, const Rect& bounds) {
+  return intersect(r, bounds);
+}
+
+// Grow r by margin on every side, then clamp to bounds.
+[[nodiscard]] inline Rect inflate(const Rect& r, int margin,
+                                  const Rect& bounds) {
+  const Rect grown{r.x - margin, r.y - margin, r.width + 2 * margin,
+                   r.height + 2 * margin};
+  return clamp_to(grown, bounds);
+}
+
+// Scale a rectangle defined in one coordinate space into another (e.g. from
+// an analysis-resolution mask back to native capture pixels).  Rounds
+// outward so the scaled rect never under-covers the original region.
+[[nodiscard]] inline Rect scale_rect(const Rect& r, double sx, double sy) {
+  const int x0 = static_cast<int>(std::floor(r.x * sx));
+  const int y0 = static_cast<int>(std::floor(r.y * sy));
+  const int x1 = static_cast<int>(std::ceil(r.right() * sx));
+  const int y1 = static_cast<int>(std::ceil(r.bottom() * sy));
+  return Rect::from_corners(x0, y0, x1, y1);
+}
+
+[[nodiscard]] inline std::string to_string(const Rect& r) {
+  return "[" + std::to_string(r.x) + "," + std::to_string(r.y) + " " +
+         std::to_string(r.width) + "x" + std::to_string(r.height) + "]";
+}
+
+}  // namespace tangram::common

@@ -1,0 +1,52 @@
+// Tiny leveled logger.  The simulator is single-threaded by design (it is a
+// discrete-event simulation), so no synchronization is needed; the level is
+// atomic only so tests can flip it without data-race UB if they ever run
+// logging assertions from helper threads.
+
+#pragma once
+
+#include <atomic>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace tangram::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+inline std::atomic<LogLevel>& log_level() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
+  return level;
+}
+
+inline void set_log_level(LogLevel level) { log_level().store(level); }
+
+namespace detail {
+inline void log(LogLevel level, std::string_view tag, std::string_view msg) {
+  if (level < log_level().load()) return;
+  static constexpr std::string_view names[] = {"DEBUG", "INFO", "WARN",
+                                               "ERROR"};
+  std::cerr << "[" << names[static_cast<int>(level)] << "][" << tag << "] "
+            << msg << "\n";
+}
+}  // namespace detail
+
+#define TANGRAM_LOG(level, tag, expr)                                   \
+  do {                                                                  \
+    if ((level) >= ::tangram::common::log_level().load()) {             \
+      std::ostringstream os_;                                           \
+      os_ << expr;                                                      \
+      ::tangram::common::detail::log((level), (tag), os_.str());        \
+    }                                                                   \
+  } while (0)
+
+#define TLOG_DEBUG(tag, expr) \
+  TANGRAM_LOG(::tangram::common::LogLevel::kDebug, tag, expr)
+#define TLOG_INFO(tag, expr) \
+  TANGRAM_LOG(::tangram::common::LogLevel::kInfo, tag, expr)
+#define TLOG_WARN(tag, expr) \
+  TANGRAM_LOG(::tangram::common::LogLevel::kWarn, tag, expr)
+#define TLOG_ERROR(tag, expr) \
+  TANGRAM_LOG(::tangram::common::LogLevel::kError, tag, expr)
+
+}  // namespace tangram::common

@@ -1,0 +1,187 @@
+// Streaming statistics and empirical distributions.
+//
+// RunningStats implements Welford's online algorithm, which every latency /
+// cost / efficiency aggregate in the benchmarks uses.  Sampler keeps the raw
+// values so percentile and CDF queries are exact (sample counts here are
+// thousands, not billions, so the memory is irrelevant).
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tangram::common {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ += delta * nb / (na + nb);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Retains raw samples for exact quantile / CDF queries.
+class Sampler {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+    stats_.add(x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] const RunningStats& stats() const { return stats_; }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double stddev() const { return stats_.stddev(); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  // Quantile q in [0,1] with linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const {
+    if (values_.empty())
+      throw std::logic_error("Sampler::quantile on empty sampler");
+    ensure_sorted();
+    if (q <= 0.0) return sorted_values_.front();
+    if (q >= 1.0) return sorted_values_.back();
+    const double pos = q * static_cast<double>(sorted_values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted_values_.size()) return sorted_values_.back();
+    return sorted_values_[lo] * (1.0 - frac) + sorted_values_[lo + 1] * frac;
+  }
+
+  // Empirical CDF: fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const {
+    if (values_.empty()) return 0.0;
+    ensure_sorted();
+    const auto it =
+        std::upper_bound(sorted_values_.begin(), sorted_values_.end(), x);
+    return static_cast<double>(it - sorted_values_.begin()) /
+           static_cast<double>(sorted_values_.size());
+  }
+
+  // Evenly spaced (x, CDF(x)) pairs covering [min, max]; used by the
+  // figure-reproduction benches to print CDF series.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_series(
+      int points) const {
+    std::vector<std::pair<double, double>> out;
+    if (values_.empty() || points < 2) return out;
+    ensure_sorted();
+    const double lo = sorted_values_.front();
+    const double hi = sorted_values_.back();
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+      const double x =
+          lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+      out.emplace_back(x, cdf(x));
+    }
+    return out;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      sorted_values_ = values_;
+      std::sort(sorted_values_.begin(), sorted_values_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_values_;
+  mutable bool sorted_ = false;
+  RunningStats stats_;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bucket.  Used for the Fig. 14(d) patch-count x canvas-count
+// heat map and distribution printouts.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {
+    if (buckets == 0 || hi <= lo)
+      throw std::invalid_argument("Histogram: bad range");
+  }
+
+  void add(double x) {
+    ++total_;
+    ++counts_[bucket_of(x)];
+  }
+
+  [[nodiscard]] std::size_t bucket_of(double x) const {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    const auto b = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+    return std::min(b, counts_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::size_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] double fraction(std::size_t bucket) const {
+    return total_ ? static_cast<double>(counts_.at(bucket)) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+  [[nodiscard]] std::pair<double, double> bucket_range(std::size_t b) const {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return {lo_ + w * static_cast<double>(b),
+            lo_ + w * static_cast<double>(b + 1)};
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tangram::common

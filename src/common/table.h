@@ -1,0 +1,87 @@
+// Minimal ASCII table printer used by the benchmark binaries to emit
+// paper-style tables (Table I-IV) and figure series on stdout.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tangram::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  // Convenience for numeric cells.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+  static std::string pct(double v, int precision = 2) {
+    return num(v * 100.0, precision) + "%";
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    const auto rule = [&] {
+      os << '+';
+      for (const auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    const auto line = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : empty_;
+        os << ' ' << v << std::string(widths[c] - v.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto& row : rows_) line(row);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  inline static const std::string empty_;
+};
+
+// Emit a "figure series" — one (x, y...) row per line, tab separated, with a
+// '#'-prefixed header so the output is gnuplot-ready.
+inline void print_series(const std::string& title,
+                         const std::vector<std::string>& columns,
+                         const std::vector<std::vector<double>>& rows,
+                         std::ostream& os = std::cout) {
+  os << "# " << title << "\n# ";
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    os << columns[i] << (i + 1 < columns.size() ? "\t" : "\n");
+  os << std::fixed << std::setprecision(4);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << row[i] << (i + 1 < row.size() ? "\t" : "\n");
+  }
+}
+
+}  // namespace tangram::common

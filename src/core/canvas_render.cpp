@@ -1,0 +1,54 @@
+#include "core/canvas_render.h"
+
+#include <fstream>
+
+namespace tangram::core {
+
+video::Image render_canvas(const PackedCanvas& canvas,
+                           common::Size canvas_size,
+                           const video::Image& analysis_frame,
+                           const video::FrameRasterizer& rasterizer,
+                           std::uint8_t background) {
+  const double sx = rasterizer.sx();
+  const double sy = rasterizer.sy();
+  const int out_w =
+      std::max(1, static_cast<int>(std::lround(canvas_size.width * sx)));
+  const int out_h =
+      std::max(1, static_cast<int>(std::lround(canvas_size.height * sy)));
+  video::Image out(out_w, out_h, background);
+
+  for (std::size_t i = 0; i < canvas.patches.size(); ++i) {
+    const common::Rect& region = canvas.patches[i].region;  // native
+    const common::Point& pos = canvas.positions[i];         // native
+
+    // Source rect in the analysis frame; destination offset on the canvas.
+    const common::Rect src = common::clamp_to(
+        rasterizer.to_analysis(region),
+        common::Rect{0, 0, analysis_frame.width(), analysis_frame.height()});
+    const int dst_x = static_cast<int>(std::lround(pos.x * sx));
+    const int dst_y = static_cast<int>(std::lround(pos.y * sy));
+
+    for (int y = 0; y < src.height; ++y) {
+      const int oy = dst_y + y;
+      if (oy < 0 || oy >= out.height()) continue;
+      for (int x = 0; x < src.width; ++x) {
+        const int ox = dst_x + x;
+        if (ox < 0 || ox >= out.width()) continue;
+        out.at(ox, oy) = analysis_frame.at(src.x + x, src.y + y);
+      }
+    }
+  }
+  return out;
+}
+
+bool write_pgm(const video::Image& image, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << "P5\n"
+       << image.width() << " " << image.height() << "\n255\n";
+  file.write(reinterpret_cast<const char*>(image.data()),
+             static_cast<std::streamsize>(image.pixel_count()));
+  return static_cast<bool>(file);
+}
+
+}  // namespace tangram::core

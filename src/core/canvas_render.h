@@ -1,0 +1,37 @@
+// Canvas composition: copy patch pixels out of the analysis-resolution frame
+// into the stitched canvas layout, and dump canvases as PGM images.
+//
+// In the real deployment this is the cloud-side step between receiving
+// encoded patches and feeding the DNN; here it exists for two reasons:
+//  * visual verification of the stitcher (examples/stitch_gallery writes
+//    PGMs you can open and inspect — patches must never overlap), and
+//  * exercising the same coordinate transforms that mapping.h inverts.
+//
+// Canvases are composed at analysis resolution (patch rects are native; the
+// rasterizer provides the scale), which keeps the demo cheap while touching
+// every transform the full-resolution path would.
+
+#pragma once
+
+#include <string>
+
+#include "core/invoker.h"
+#include "video/image.h"
+#include "video/raster.h"
+
+namespace tangram::core {
+
+// Compose one canvas of a batch from a source frame.  `canvas_size` is the
+// native-resolution canvas (e.g. 1024x1024); the returned image is scaled by
+// the rasterizer's analysis factor.  Pixels outside every patch stay at
+// `background` (the canvas padding the DNN sees as blank).
+[[nodiscard]] video::Image render_canvas(
+    const PackedCanvas& canvas, common::Size canvas_size,
+    const video::Image& analysis_frame,
+    const video::FrameRasterizer& rasterizer, std::uint8_t background = 16);
+
+// Write an 8-bit grayscale image as binary PGM (P5).  Returns false on I/O
+// failure.
+bool write_pgm(const video::Image& image, const std::string& path);
+
+}  // namespace tangram::core

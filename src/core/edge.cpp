@@ -1,0 +1,64 @@
+#include "core/edge.h"
+
+#include "core/stitcher.h"
+
+namespace tangram::core {
+
+EdgeCamera::EdgeCamera(common::Size native, Config config,
+                       video::RasterConfig raster)
+    : native_(native),
+      config_(std::move(config)),
+      rasterizer_(native,
+                  [&] {
+                    raster.seed ^= config.seed * 0x9E3779B97F4A7C15ULL;
+                    return raster;
+                  }()),
+      extractor_(vision::make_extractor(config_.extractor,
+                                        rasterizer_.analysis_size(),
+                                        config_.seed)),
+      needs_pixels_(config_.extractor == "GMM" ||
+                    config_.extractor == "OpticalFlow") {}
+
+std::vector<Patch> EdgeCamera::on_frame(const video::FrameTruth& truth,
+                                        const video::Image* pixels) {
+  vision::FrameInput input;
+  input.frame = native_;
+  input.truth = &truth;
+  video::Image rendered;
+  if (needs_pixels_) {
+    if (pixels == nullptr) {
+      rendered = rasterizer_.render(truth);
+      pixels = &rendered;
+    }
+    input.analysis_frame = pixels;
+    input.rasterizer = &rasterizer_;
+  }
+
+  const auto rois = extractor_->extract(input);
+  const auto raw_patches =
+      partition_patches(native_, rois, config_.partition);
+
+  std::vector<Patch> out;
+  for (const auto& region : raw_patches) {
+    for (const auto& tile : split_oversized(region, config_.canvas)) {
+      Patch patch;
+      patch.id = next_patch_id_++;
+      patch.camera_id = config_.camera_id;
+      patch.frame_index = truth.frame_index;
+      patch.region = tile;
+      patch.generation_time = truth.timestamp;
+      patch.slo = config_.slo_s;
+      patch.bytes = config_.codec.patch_bytes(tile.size());
+      bytes_ += patch.bytes;
+      out.push_back(patch);
+    }
+  }
+  ++frames_;
+  return out;
+}
+
+std::vector<Patch> EdgeCamera::on_frame(const video::FrameTruth& truth) {
+  return on_frame(truth, nullptr);
+}
+
+}  // namespace tangram::core

@@ -1,0 +1,71 @@
+// EdgeCamera: the edge-side half of Tangram, as deployed on the paper's
+// Jetson — background subtraction, adaptive frame partitioning (Algorithm 1,
+// the paper's `partition(Frame, X, Y, M, N)` API), and patch encoding.
+//
+// Feed it frames (ground truth + rasterized pixels) and it emits ready-to-
+// transmit Patches carrying the metadata triple the scheduler needs:
+// generation time, size, and SLO.  Oversized enclosing rectangles are tiled
+// to the canvas here, on the edge, so the uplink carries exactly what the
+// cloud will stitch.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "core/patch.h"
+#include "video/codec.h"
+#include "video/raster.h"
+#include "video/scene.h"
+#include "vision/extractors.h"
+
+namespace tangram::core {
+
+class EdgeCamera {
+ public:
+  struct Config {
+    int camera_id = 0;
+    PartitionConfig partition;            // zone grid (X x Y)
+    common::Size canvas{1024, 1024};      // M x N, for oversize tiling
+    double slo_s = 1.0;                   // attached to every patch
+    video::CodecModel codec;
+    std::string extractor = "GMM";        // see vision::make_extractor
+    std::uint64_t seed = 1;
+  };
+
+  // `native` is the camera's capture resolution; `raster` controls the
+  // analysis resolution the pixel-based extractors run at.
+  EdgeCamera(common::Size native, Config config,
+             video::RasterConfig raster = {});
+
+  // Process one captured frame and return its encoded patches.  `pixels`
+  // may be null when the configured extractor is ground-truth based.
+  [[nodiscard]] std::vector<Patch> on_frame(const video::FrameTruth& truth,
+                                            const video::Image* pixels);
+
+  // Convenience: rasterize internally (the common case).
+  [[nodiscard]] std::vector<Patch> on_frame(const video::FrameTruth& truth);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const video::FrameRasterizer& rasterizer() const {
+    return rasterizer_;
+  }
+  // Non-const: FrameRasterizer::render draws per-frame sensor noise.
+  [[nodiscard]] video::FrameRasterizer& rasterizer() { return rasterizer_; }
+  [[nodiscard]] std::size_t frames_processed() const { return frames_; }
+  [[nodiscard]] std::size_t patches_emitted() const { return next_patch_id_; }
+  [[nodiscard]] std::size_t bytes_emitted() const { return bytes_; }
+
+ private:
+  common::Size native_;
+  Config config_;
+  video::FrameRasterizer rasterizer_;
+  std::unique_ptr<vision::RoiExtractor> extractor_;
+  bool needs_pixels_;
+  std::size_t frames_ = 0;
+  std::uint64_t next_patch_id_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace tangram::core

@@ -1,0 +1,117 @@
+#include "core/invoker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tangram::core {
+
+SloAwareInvoker::SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
+                                 const LatencyEstimator& estimator,
+                                 InvokerConfig config, InvokeFn invoke)
+    : sim_(simulator),
+      solver_(solver),
+      estimator_(estimator),
+      config_(config),
+      invoke_(std::move(invoke)) {
+  if (!invoke_)
+    throw std::invalid_argument("SloAwareInvoker: invoke callback required");
+  if (config_.max_canvases < 1)
+    throw std::invalid_argument("SloAwareInvoker: max_canvases must be >= 1");
+}
+
+void SloAwareInvoker::repack() {
+  std::vector<common::Size> sizes;
+  sizes.reserve(queue_.size());
+  for (const auto& p : queue_) sizes.push_back(p.size());
+  packing_ = solver_.pack(sizes, config_.canvas);
+  earliest_deadline_ = std::numeric_limits<double>::infinity();
+  for (const auto& p : queue_)
+    earliest_deadline_ = std::min(earliest_deadline_, p.deadline());
+  slack_ = queue_.empty() ? 0.0 : estimator_.slack(packing_.canvas_count);
+}
+
+void SloAwareInvoker::on_patch(Patch patch) {
+  patch.arrival_time = sim_.now();
+
+  // Lines 4-8: remember the old canvas set, then repack with the new patch.
+  std::vector<Patch> old_queue = queue_;
+  queue_.push_back(std::move(patch));
+  repack();
+
+  // Lines 9-10.
+  const double t_remain = earliest_deadline_ - slack_;
+  const bool would_violate = t_remain < sim_.now();
+  const bool memory_overflow = packing_.canvas_count > config_.max_canvases;
+
+  if ((would_violate || memory_overflow) && !old_queue.empty()) {
+    // Lines 11-17: dispatch the old canvas set immediately; the new patch
+    // starts a fresh queue.
+    Patch newcomer = std::move(queue_.back());
+    queue_ = std::move(old_queue);
+    repack();
+    invoke_current();  // Invoke(C_old)
+    ++forced_flushes_;
+
+    queue_.clear();
+    queue_.push_back(std::move(newcomer));
+    repack();
+  }
+
+  // A patch whose SLO is unmeetable even alone (t_remain already passed with
+  // a single-canvas batch) is dispatched immediately as a best effort — the
+  // paper leaves this case implicit; waiting longer can only make it worse.
+  const double fresh_remain = earliest_deadline_ - slack_;
+  if (fresh_remain <= sim_.now()) {
+    invoke_current();
+    return;
+  }
+  arm_timer();
+}
+
+void SloAwareInvoker::arm_timer() {
+  timer_.cancel();
+  if (queue_.empty()) return;
+  const double t_remain = earliest_deadline_ - slack_;
+  timer_ = sim_.schedule_at(std::max(t_remain, sim_.now()),
+                            [this] { invoke_current(); });
+}
+
+Batch SloAwareInvoker::build_batch() const {
+  Batch batch;
+  batch.invoke_time = sim_.now();
+  batch.earliest_deadline = earliest_deadline_;
+  batch.slack_estimate = slack_;
+  batch.total_patches = static_cast<int>(queue_.size());
+  batch.canvases.resize(static_cast<std::size_t>(packing_.canvas_count));
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Placement& pl = packing_.placements[i];
+    auto& canvas = batch.canvases[static_cast<std::size_t>(pl.canvas_index)];
+    canvas.patches.push_back(queue_[i]);
+    canvas.positions.push_back(pl.position);
+  }
+  for (std::size_t c = 0; c < batch.canvases.size(); ++c)
+    batch.canvases[c].fill = packing_.canvas_fill[c];
+  return batch;
+}
+
+void SloAwareInvoker::invoke_current() {
+  timer_.cancel();
+  if (queue_.empty()) return;
+
+  Batch batch = build_batch();
+  batch_canvas_count_.add(static_cast<double>(batch.canvas_count()));
+  batch_patch_count_.add(static_cast<double>(batch.total_patches));
+  for (const auto& c : batch.canvases) canvas_efficiency_.add(c.fill);
+  ++batches_invoked_;
+
+  queue_.clear();
+  packing_ = StitchResult{};
+  earliest_deadline_ = 0.0;
+  slack_ = 0.0;
+
+  invoke_(std::move(batch));
+}
+
+void SloAwareInvoker::flush() { invoke_current(); }
+
+}  // namespace tangram::core

@@ -1,0 +1,116 @@
+// Online SLO-aware Batching Invoker — Algorithm 2 (main loop) of the paper.
+//
+// Event-driven port of the algorithm: instead of busy-waiting on
+// "t == t_remain", the invoker re-arms a simulator timer whenever the packing
+// changes.  The logic on each patch arrival is the paper's, line for line:
+//
+//   1. append the patch to queue Q; adopt the earliest deadline as t_DDL and
+//      remember the previous canvas set C_old        (lines 4-7);
+//   2. re-run the Patch-stitching Solver on the whole queue and ask the
+//      Latency Estimator for T_slack of the new canvas set (lines 8-9);
+//      t_remain = t_DDL - T_slack                    (line 10);
+//   3. if t_remain is already in the past — admitting this patch would make
+//      some patch miss its SLO — or the canvas set no longer fits the
+//      function's GPU memory, invoke C_old immediately and restart the queue
+//      with just the new patch                       (lines 11-17);
+//   4. when the clock reaches t_remain, invoke the current canvas set as one
+//      batch                                          (lines 19-22).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/estimator.h"
+#include "core/patch.h"
+#include "core/stitcher.h"
+#include "sim/simulator.h"
+
+namespace tangram::core {
+
+struct InvokerConfig {
+  common::Size canvas{1024, 1024};
+  // Maximum canvases per batch admitted by the function's GPU memory
+  // (constraint (5)); obtain from FunctionPlatform::max_canvases_per_batch.
+  int max_canvases = 9;
+};
+
+// One packed canvas inside a dispatched batch.
+struct PackedCanvas {
+  std::vector<Patch> patches;
+  std::vector<common::Point> positions;  // parallel to `patches`
+  double fill = 0.0;                     // used-area fraction
+};
+
+// A batch handed to the serverless function.
+struct Batch {
+  std::vector<PackedCanvas> canvases;
+  double invoke_time = 0.0;
+  double earliest_deadline = 0.0;
+  double slack_estimate = 0.0;   // T_slack at invoke time
+  int total_patches = 0;
+
+  [[nodiscard]] int canvas_count() const {
+    return static_cast<int>(canvases.size());
+  }
+};
+
+class SloAwareInvoker {
+ public:
+  using InvokeFn = std::function<void(Batch&&)>;
+
+  SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
+                  const LatencyEstimator& estimator, InvokerConfig config,
+                  InvokeFn invoke);
+
+  // Patch arrival (Algorithm 2, lines 4-18).  The patch must fit the canvas;
+  // split oversized patches with split_oversized() first.
+  void on_patch(Patch patch);
+
+  // Force-invoke whatever is pending (end of stream / shutdown).
+  void flush();
+
+  [[nodiscard]] std::size_t pending_patches() const { return queue_.size(); }
+
+  // --- telemetry (drives Figs. 10b, 13, 14) ---------------------------------
+  [[nodiscard]] const common::Sampler& canvas_efficiency() const {
+    return canvas_efficiency_;
+  }
+  [[nodiscard]] const common::Sampler& batch_canvas_count() const {
+    return batch_canvas_count_;
+  }
+  [[nodiscard]] const common::Sampler& batch_patch_count() const {
+    return batch_patch_count_;
+  }
+  [[nodiscard]] std::size_t batches_invoked() const {
+    return batches_invoked_;
+  }
+  [[nodiscard]] std::size_t forced_flushes() const { return forced_flushes_; }
+
+ private:
+  void repack();              // solver + estimator over the current queue
+  void arm_timer();           // (re)schedule invocation at t_remain
+  void invoke_current();      // lines 19-22
+  [[nodiscard]] Batch build_batch() const;
+
+  sim::Simulator& sim_;
+  StitchSolver solver_;
+  const LatencyEstimator& estimator_;
+  InvokerConfig config_;
+  InvokeFn invoke_;
+
+  std::vector<Patch> queue_;      // Q
+  StitchResult packing_;          // C (placements for queue_)
+  double earliest_deadline_ = 0;  // t_DDL
+  double slack_ = 0;              // T_slack for current packing
+  sim::EventHandle timer_;
+
+  common::Sampler canvas_efficiency_;
+  common::Sampler batch_canvas_count_;
+  common::Sampler batch_patch_count_;
+  std::size_t batches_invoked_ = 0;
+  std::size_t forced_flushes_ = 0;
+};
+
+}  // namespace tangram::core

@@ -1,0 +1,62 @@
+#include "core/mapping.h"
+
+namespace tangram::core {
+
+std::optional<FrameDetection> map_to_frame(const Batch& batch,
+                                           const CanvasDetection& detection) {
+  if (detection.canvas_index < 0 ||
+      detection.canvas_index >= batch.canvas_count())
+    return std::nullopt;
+  const PackedCanvas& canvas =
+      batch.canvases[static_cast<std::size_t>(detection.canvas_index)];
+
+  // Pick the patch with the largest overlap with the detection box.
+  const Patch* best_patch = nullptr;
+  common::Point best_position;
+  std::int64_t best_overlap = 0;
+  for (std::size_t i = 0; i < canvas.patches.size(); ++i) {
+    const Patch& patch = canvas.patches[i];
+    const common::Point pos = canvas.positions[i];
+    const common::Rect on_canvas{pos.x, pos.y, patch.region.width,
+                                 patch.region.height};
+    const std::int64_t overlap =
+        common::overlap_area(on_canvas, detection.box);
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best_patch = &patch;
+      best_position = pos;
+    }
+  }
+  if (best_patch == nullptr) return std::nullopt;
+
+  // Clip to the owning patch, then translate canvas -> patch -> frame.
+  const common::Rect patch_on_canvas{best_position.x, best_position.y,
+                                     best_patch->region.width,
+                                     best_patch->region.height};
+  const common::Rect clipped =
+      common::intersect(detection.box, patch_on_canvas);
+  if (clipped.empty()) return std::nullopt;
+
+  FrameDetection out;
+  out.camera_id = best_patch->camera_id;
+  out.frame_index = best_patch->frame_index;
+  out.confidence = detection.confidence;
+  out.label = detection.label;
+  out.box = common::Rect{
+      clipped.x - best_position.x + best_patch->region.x,
+      clipped.y - best_position.y + best_patch->region.y, clipped.width,
+      clipped.height};
+  return out;
+}
+
+std::vector<FrameDetection> map_batch_detections(
+    const Batch& batch, const std::vector<CanvasDetection>& detections) {
+  std::vector<FrameDetection> out;
+  out.reserve(detections.size());
+  for (const auto& d : detections) {
+    if (auto mapped = map_to_frame(batch, d)) out.push_back(*mapped);
+  }
+  return out;
+}
+
+}  // namespace tangram::core

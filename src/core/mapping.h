@@ -1,0 +1,61 @@
+// Canvas-space <-> frame-space coordinate mapping.
+//
+// After the stitcher places patches onto canvases, the serverless function
+// runs the DNN on canvas pixels and returns boxes in *canvas* coordinates.
+// This module maps those boxes back to the source frame of the patch they
+// landed on — the inverse of the stitching transform — and resolves the
+// ambiguity of boxes that straddle two patches (assigned to the patch with
+// the larger overlap, then clipped to it).
+//
+// The mapping is what makes the paper's central accuracy claim testable: a
+// detection pipeline that goes frame -> patches -> canvas -> detections ->
+// frame must land boxes where full-frame inference would have put them.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/invoker.h"
+
+namespace tangram::core {
+
+// A box produced by the model on one canvas of a batch.
+struct CanvasDetection {
+  int canvas_index = 0;
+  common::Rect box;        // canvas coordinates
+  double confidence = 0.0;
+  int label = 0;           // arbitrary class id carried through
+};
+
+// A detection mapped back into a camera frame.
+struct FrameDetection {
+  int camera_id = 0;
+  int frame_index = 0;
+  common::Rect box;        // native frame coordinates
+  double confidence = 0.0;
+  int label = 0;
+};
+
+// The placement of one patch on one canvas, as recorded in a Batch.
+struct PatchPlacement {
+  const Patch* patch = nullptr;
+  common::Point position;  // top-left on the canvas
+  [[nodiscard]] common::Rect canvas_rect() const {
+    return {position.x, position.y, patch->region.width,
+            patch->region.height};
+  }
+};
+
+// Map one canvas-space box back to frame coordinates.  Returns nullopt when
+// the box touches no patch on its canvas (a false positive on canvas
+// padding, which a real deployment drops).
+[[nodiscard]] std::optional<FrameDetection> map_to_frame(
+    const Batch& batch, const CanvasDetection& detection);
+
+// Map a whole batch worth of canvas detections.
+[[nodiscard]] std::vector<FrameDetection> map_batch_detections(
+    const Batch& batch, const std::vector<CanvasDetection>& detections);
+
+}  // namespace tangram::core

@@ -1,0 +1,72 @@
+#include "core/partitioner.h"
+
+#include <stdexcept>
+
+namespace tangram::core {
+
+PartitionResult partition_frame(common::Size frame,
+                                std::span<const common::Rect> rois,
+                                const PartitionConfig& config) {
+  if (config.zones_x < 1 || config.zones_y < 1)
+    throw std::invalid_argument("partition_frame: zone grid must be >= 1x1");
+  if (frame.empty())
+    throw std::invalid_argument("partition_frame: empty frame");
+
+  const int X = config.zones_x, Y = config.zones_y;
+  const common::Rect bounds{0, 0, frame.width, frame.height};
+
+  // Line 1: divide the frame into X*Y equal zones.  Integer division leaves
+  // the last row/column slightly larger so the zones tile exactly.
+  std::vector<common::Rect> zones;
+  zones.reserve(static_cast<std::size_t>(X) * Y);
+  for (int zy = 0; zy < Y; ++zy) {
+    for (int zx = 0; zx < X; ++zx) {
+      const int x0 = frame.width * zx / X;
+      const int y0 = frame.height * zy / Y;
+      const int x1 = frame.width * (zx + 1) / X;
+      const int y1 = frame.height * (zy + 1) / Y;
+      zones.push_back(common::Rect::from_corners(x0, y0, x1, y1));
+    }
+  }
+
+  // Lines 3-9: affiliate each RoI with the zone of maximum overlap.
+  PartitionResult result;
+  result.roi_affiliation.assign(rois.size(), -1);
+  std::vector<common::Rect> enclosing(zones.size());  // empty = unset
+  for (std::size_t b = 0; b < rois.size(); ++b) {
+    const common::Rect roi = common::clamp_to(rois[b], bounds);
+    if (roi.empty()) continue;
+    std::int64_t best_overlap = 0;
+    int best_zone = -1;
+    for (std::size_t r = 0; r < zones.size(); ++r) {
+      const std::int64_t s = common::overlap_area(roi, zones[r]);
+      if (s > best_overlap) {
+        best_overlap = s;
+        best_zone = static_cast<int>(r);
+      }
+    }
+    if (best_zone < 0) continue;
+    result.roi_affiliation[b] = best_zone;
+    // Lines 10-12 fold in here: grow the zone's enclosing rectangle.
+    enclosing[static_cast<std::size_t>(best_zone)] = common::bounding_union(
+        enclosing[static_cast<std::size_t>(best_zone)], roi);
+  }
+
+  // Line 13: cut out each non-empty zone's enclosing rectangle as a patch.
+  for (std::size_t r = 0; r < zones.size(); ++r) {
+    if (enclosing[r].empty()) continue;
+    const common::Rect patch =
+        common::inflate(enclosing[r], config.context_margin, bounds);
+    result.patches.push_back(patch);
+    result.zone_of_patch.push_back(static_cast<int>(r));
+  }
+  return result;
+}
+
+std::vector<common::Rect> partition_patches(common::Size frame,
+                                            std::span<const common::Rect> rois,
+                                            const PartitionConfig& config) {
+  return partition_frame(frame, rois, config).patches;
+}
+
+}  // namespace tangram::core

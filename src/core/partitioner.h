@@ -1,0 +1,46 @@
+// Adaptive frame partitioning — Algorithm 1 of the paper.
+//
+// Given the RoIs extracted on the edge (e.g. by GMM background subtraction),
+// the frame is divided into X x Y equal zones; each RoI is affiliated with
+// the zone it overlaps most; every non-empty zone is shrunk to the minimum
+// enclosing rectangle of its RoIs and cut out as a patch.  The enclosing
+// rectangle may extend beyond the zone (an RoI belongs entirely to one zone
+// even when it straddles the boundary), so patches can overlap — that is the
+// paper's behaviour and it is what preserves objects that would otherwise be
+// cut in half.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace tangram::core {
+
+struct PartitionConfig {
+  int zones_x = 4;
+  int zones_y = 4;
+  // Patches are grown by this margin (native px) before cutting, giving the
+  // cloud detector a little context around tight GMM blobs.
+  int context_margin = 12;
+};
+
+struct PartitionResult {
+  std::vector<common::Rect> patches;     // one per non-empty zone
+  std::vector<int> zone_of_patch;        // zone index (y * X + x) per patch
+  std::vector<int> roi_affiliation;      // zone index per input RoI (-1 if empty)
+};
+
+// Runs Algorithm 1.  `rois` are in native frame coordinates; returned patch
+// rects are clamped to the frame.
+[[nodiscard]] PartitionResult partition_frame(common::Size frame,
+                                              std::span<const common::Rect> rois,
+                                              const PartitionConfig& config);
+
+// Convenience: just the patch rectangles.
+[[nodiscard]] std::vector<common::Rect> partition_patches(
+    common::Size frame, std::span<const common::Rect> rois,
+    const PartitionConfig& config);
+
+}  // namespace tangram::core

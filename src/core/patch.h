@@ -1,0 +1,32 @@
+// Patch: the unit of work flowing from edge cameras to the cloud scheduler.
+//
+// The edge uploads each patch with its metadata triple (generation time,
+// size, SLO), exactly the information the paper's scheduler consumes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/geometry.h"
+
+namespace tangram::core {
+
+struct Patch {
+  std::uint64_t id = 0;
+  int camera_id = 0;
+  int frame_index = 0;
+  common::Rect region;          // location in the native frame
+  double generation_time = 0.0; // capture timestamp (s)
+  double slo = 1.0;             // end-to-end latency objective (s)
+  std::size_t bytes = 0;        // encoded transfer size
+
+  // Time the patch reached the cloud scheduler; set on arrival.
+  double arrival_time = 0.0;
+
+  [[nodiscard]] double deadline() const { return generation_time + slo; }
+  [[nodiscard]] common::Size size() const { return region.size(); }
+  [[nodiscard]] std::int64_t area() const { return region.area(); }
+};
+
+}  // namespace tangram::core

@@ -1,0 +1,334 @@
+#include "core/stitcher.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+namespace tangram::core {
+
+double StitchResult::efficiency(common::Size canvas,
+                                std::span<const common::Size> items) const {
+  if (canvas_count == 0) return 0.0;
+  std::int64_t used = 0;
+  for (const auto& s : items) used += s.area();
+  return static_cast<double>(used) /
+         (static_cast<double>(canvas.area()) * canvas_count);
+}
+
+namespace {
+
+void validate(std::span<const common::Size> items, common::Size canvas) {
+  if (canvas.empty())
+    throw std::invalid_argument("StitchSolver: empty canvas");
+  for (const auto& s : items) {
+    if (s.empty())
+      throw std::invalid_argument("StitchSolver: empty patch");
+    if (s.width > canvas.width || s.height > canvas.height)
+      throw std::invalid_argument(
+          "StitchSolver: patch exceeds canvas (split_oversized first)");
+  }
+}
+
+std::vector<std::size_t> make_order(std::span<const common::Size> items,
+                                    bool sort_desc) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (sort_desc) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return items[a].area() > items[b].area();
+                     });
+  }
+  return order;
+}
+
+void fill_canvas_stats(StitchResult& result,
+                       std::span<const common::Size> items,
+                       common::Size canvas) {
+  result.canvas_fill.assign(static_cast<std::size_t>(result.canvas_count),
+                            0.0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto c = static_cast<std::size_t>(result.placements[i].canvas_index);
+    result.canvas_fill[c] += static_cast<double>(items[i].area());
+  }
+  for (auto& f : result.canvas_fill)
+    f /= static_cast<double>(canvas.area());
+}
+
+}  // namespace
+
+StitchResult StitchSolver::pack(std::span<const common::Size> items,
+                                common::Size canvas) const {
+  validate(items, canvas);
+  const std::vector<std::size_t> order = make_order(items, sort_desc_);
+  StitchResult result;
+  switch (heuristic_) {
+    case PackHeuristic::kGuillotineBssf:
+      result = pack_guillotine(items, canvas, order);
+      break;
+    case PackHeuristic::kShelfFirstFit:
+      result = pack_shelf(items, canvas, order);
+      break;
+    case PackHeuristic::kOnePerCanvas:
+      result = pack_one_per_canvas(items);
+      break;
+    case PackHeuristic::kSkylineBottomLeft:
+      result = pack_skyline(items, canvas, order);
+      break;
+  }
+  fill_canvas_stats(result, items, canvas);
+  return result;
+}
+
+StitchResult StitchSolver::pack_guillotine(
+    std::span<const common::Size> items, common::Size canvas,
+    std::span<const std::size_t> order) const {
+  StitchResult result;
+  result.placements.assign(items.size(), Placement{});
+
+  // Free rectangles per canvas; coordinates are canvas-local.
+  std::vector<std::vector<common::Rect>> free_rects;
+
+  for (const std::size_t idx : order) {
+    const common::Size item = items[idx];
+
+    // Best-Short-Side-Fit over every free rect of every open canvas.
+    int best_canvas = -1;
+    std::size_t best_rect = 0;
+    int best_short_side = std::numeric_limits<int>::max();
+    for (std::size_t c = 0; c < free_rects.size(); ++c) {
+      for (std::size_t f = 0; f < free_rects[c].size(); ++f) {
+        const common::Rect& fr = free_rects[c][f];
+        if (fr.width < item.width || fr.height < item.height) continue;
+        const int short_side =
+            std::min(fr.width - item.width, fr.height - item.height);
+        if (short_side < best_short_side) {
+          best_short_side = short_side;
+          best_canvas = static_cast<int>(c);
+          best_rect = f;
+        }
+      }
+    }
+
+    if (best_canvas < 0) {
+      // Line 36: open a new blank canvas.
+      free_rects.push_back({common::Rect{0, 0, canvas.width, canvas.height}});
+      best_canvas = static_cast<int>(free_rects.size()) - 1;
+      best_rect = 0;
+      best_short_side = std::min(canvas.width - item.width,
+                                 canvas.height - item.height);
+    }
+
+    auto& rects = free_rects[static_cast<std::size_t>(best_canvas)];
+    const common::Rect chosen = rects[best_rect];
+    rects.erase(rects.begin() + static_cast<std::ptrdiff_t>(best_rect));
+
+    // Line 31: place at the free rect's origin corner.
+    result.placements[idx] =
+        Placement{best_canvas, common::Point{chosen.x, chosen.y}};
+
+    // Lines 32-33: guillotine split of the residual L-shape on the shorter
+    // axis of the chosen free rectangle.
+    const int leftover_w = chosen.width - item.width;
+    const int leftover_h = chosen.height - item.height;
+    common::Rect right, top;
+    if (chosen.width < chosen.height) {
+      // Horizontal cut: right strip is short, bottom strip spans full width.
+      right = common::Rect{chosen.x + item.width, chosen.y, leftover_w,
+                           item.height};
+      top = common::Rect{chosen.x, chosen.y + item.height, chosen.width,
+                         leftover_h};
+    } else {
+      // Vertical cut: right strip spans full height.
+      right = common::Rect{chosen.x + item.width, chosen.y, leftover_w,
+                           chosen.height};
+      top = common::Rect{chosen.x, chosen.y + item.height, item.width,
+                         leftover_h};
+    }
+    if (!right.empty()) rects.push_back(right);
+    if (!top.empty()) rects.push_back(top);
+  }
+
+  result.canvas_count = static_cast<int>(free_rects.size());
+  return result;
+}
+
+StitchResult StitchSolver::pack_shelf(std::span<const common::Size> items,
+                                      common::Size canvas,
+                                      std::span<const std::size_t> order) const {
+  StitchResult result;
+  result.placements.assign(items.size(), Placement{});
+
+  struct Shelf {
+    int y = 0;
+    int height = 0;
+    int cursor_x = 0;
+  };
+  struct Canvas {
+    std::vector<Shelf> shelves;
+    int next_shelf_y = 0;
+  };
+  std::vector<Canvas> canvases;
+
+  for (const std::size_t idx : order) {
+    const common::Size item = items[idx];
+    bool placed = false;
+    for (std::size_t c = 0; c < canvases.size() && !placed; ++c) {
+      Canvas& cv = canvases[c];
+      // First shelf with room (first-fit).
+      for (auto& shelf : cv.shelves) {
+        if (shelf.height >= item.height &&
+            shelf.cursor_x + item.width <= canvas.width) {
+          result.placements[idx] = Placement{
+              static_cast<int>(c), common::Point{shelf.cursor_x, shelf.y}};
+          shelf.cursor_x += item.width;
+          placed = true;
+          break;
+        }
+      }
+      // New shelf on this canvas.
+      if (!placed && cv.next_shelf_y + item.height <= canvas.height) {
+        cv.shelves.push_back(
+            Shelf{cv.next_shelf_y, item.height, item.width});
+        result.placements[idx] =
+            Placement{static_cast<int>(c), common::Point{0, cv.next_shelf_y}};
+        cv.next_shelf_y += item.height;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      canvases.push_back(Canvas{});
+      Canvas& cv = canvases.back();
+      cv.shelves.push_back(Shelf{0, item.height, item.width});
+      cv.next_shelf_y = item.height;
+      result.placements[idx] = Placement{
+          static_cast<int>(canvases.size()) - 1, common::Point{0, 0}};
+    }
+  }
+
+  result.canvas_count = static_cast<int>(canvases.size());
+  return result;
+}
+
+StitchResult StitchSolver::pack_one_per_canvas(
+    std::span<const common::Size> items) const {
+  StitchResult result;
+  result.placements.assign(items.size(), Placement{});
+  for (std::size_t i = 0; i < items.size(); ++i)
+    result.placements[i] = Placement{static_cast<int>(i), common::Point{0, 0}};
+  result.canvas_count = static_cast<int>(items.size());
+  return result;
+}
+
+StitchResult StitchSolver::pack_skyline(std::span<const common::Size> items,
+                                        common::Size canvas,
+                                        std::span<const std::size_t> order) const {
+  StitchResult result;
+  result.placements.assign(items.size(), Placement{});
+
+  // Per canvas: the skyline as a list of (x, width, y) segments covering
+  // [0, canvas.width) left to right.
+  struct Segment {
+    int x, width, y;
+  };
+  std::vector<std::vector<Segment>> skylines;
+
+  // Try to place `item` at each segment's left edge (bottom-left rule):
+  // the item rests on the max skyline level across its span; pick the
+  // feasible position with the lowest resulting top, then the smallest x.
+  const auto try_place = [&](std::vector<Segment>& sky,
+                             common::Size item) -> std::optional<common::Point> {
+    int best_x = -1, best_y = -1;
+    for (std::size_t s = 0; s < sky.size(); ++s) {
+      const int x = sky[s].x;
+      if (x + item.width > canvas.width) break;
+      int y = 0;
+      int span = item.width;
+      for (std::size_t t = s; t < sky.size() && span > 0; ++t) {
+        y = std::max(y, sky[t].y);
+        span -= sky[t].width;
+      }
+      if (y + item.height > canvas.height) continue;
+      if (best_y < 0 || y < best_y || (y == best_y && x < best_x)) {
+        best_y = y;
+        best_x = x;
+      }
+    }
+    if (best_y < 0) return std::nullopt;
+
+    // Carve the span [best_x, best_x + w) out of the skyline and replace it
+    // with one segment at the item's top.
+    std::vector<Segment> updated;
+    updated.reserve(sky.size() + 2);
+    const int x0 = best_x, x1 = best_x + item.width;
+    bool inserted = false;
+    for (const Segment& seg : sky) {
+      const int sx0 = seg.x, sx1 = seg.x + seg.width;
+      if (sx1 <= x0 || sx0 >= x1) {
+        updated.push_back(seg);
+        continue;
+      }
+      if (sx0 < x0) updated.push_back(Segment{sx0, x0 - sx0, seg.y});
+      if (!inserted) {
+        updated.push_back(Segment{x0, item.width, best_y + item.height});
+        inserted = true;
+      }
+      if (sx1 > x1) updated.push_back(Segment{x1, sx1 - x1, seg.y});
+    }
+    // Merge adjacent segments at equal height.
+    std::vector<Segment> merged;
+    for (const Segment& seg : updated) {
+      if (!merged.empty() && merged.back().y == seg.y &&
+          merged.back().x + merged.back().width == seg.x) {
+        merged.back().width += seg.width;
+      } else {
+        merged.push_back(seg);
+      }
+    }
+    sky = std::move(merged);
+    return common::Point{best_x, best_y};
+  };
+
+  for (const std::size_t idx : order) {
+    const common::Size item = items[idx];
+    bool placed = false;
+    for (std::size_t c = 0; c < skylines.size() && !placed; ++c) {
+      if (auto pos = try_place(skylines[c], item)) {
+        result.placements[idx] = Placement{static_cast<int>(c), *pos};
+        placed = true;
+      }
+    }
+    if (!placed) {
+      skylines.push_back({Segment{0, canvas.width, 0}});
+      const auto pos = try_place(skylines.back(), item);
+      // A fresh canvas always fits a validated item.
+      result.placements[idx] =
+          Placement{static_cast<int>(skylines.size()) - 1, *pos};
+    }
+  }
+
+  result.canvas_count = static_cast<int>(skylines.size());
+  return result;
+}
+
+std::vector<common::Rect> split_oversized(const common::Rect& patch,
+                                          common::Size canvas) {
+  if (patch.width <= canvas.width && patch.height <= canvas.height)
+    return {patch};
+  std::vector<common::Rect> tiles;
+  const int cols = (patch.width + canvas.width - 1) / canvas.width;
+  const int rows = (patch.height + canvas.height - 1) / canvas.height;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int x0 = patch.x + patch.width * c / cols;
+      const int x1 = patch.x + patch.width * (c + 1) / cols;
+      const int y0 = patch.y + patch.height * r / rows;
+      const int y1 = patch.y + patch.height * (r + 1) / rows;
+      tiles.push_back(common::Rect::from_corners(x0, y0, x1, y1));
+    }
+  }
+  return tiles;
+}
+
+}  // namespace tangram::core

@@ -1,0 +1,86 @@
+// Patch-stitching solver — Algorithm 2, lines 24-39.
+//
+// Stitches variable-size patches onto a sequence of fixed-size canvases with
+// no overlap, rotation, resizing, or padding.  The paper's heuristic is a
+// guillotine packer with Best-Short-Side-Fit rect choice:
+//   * among all free rectangles (across all open canvases) that can contain
+//     the patch, pick the one minimizing min(wc - wi, hc - hi);
+//   * place the patch at the free rect's origin corner;
+//   * split the residual L-shape into two free rectangles along the shorter
+//     axis;
+//   * when nothing fits, open a new blank canvas.
+//
+// Patches are processed in queue order (the solver is re-run from scratch on
+// every arrival — Algorithm 2 line 8), with an optional sort-by-area mode
+// used by the packing ablation.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace tangram::core {
+
+enum class PackHeuristic {
+  kGuillotineBssf,     // the paper's method
+  kShelfFirstFit,      // ablation: next-fit shelves
+  kOnePerCanvas,       // ablation: no stitching (ELF-like canvas use)
+  kSkylineBottomLeft,  // ablation: skyline bottom-left packing
+};
+
+struct Placement {
+  int canvas_index = -1;
+  common::Point position;  // top-left corner on the canvas
+};
+
+struct StitchResult {
+  std::vector<Placement> placements;  // parallel to the input span
+  int canvas_count = 0;
+  std::vector<double> canvas_fill;    // used-area fraction per canvas
+
+  // Ratio of total patch area to total canvas area (the paper's
+  // "canvas efficiency").
+  [[nodiscard]] double efficiency(common::Size canvas,
+                                  std::span<const common::Size> items) const;
+};
+
+class StitchSolver {
+ public:
+  explicit StitchSolver(PackHeuristic heuristic = PackHeuristic::kGuillotineBssf,
+                        bool sort_by_area_desc = false)
+      : heuristic_(heuristic), sort_desc_(sort_by_area_desc) {}
+
+  [[nodiscard]] PackHeuristic heuristic() const { return heuristic_; }
+
+  // Pack all items.  Throws std::invalid_argument if any item exceeds the
+  // canvas in either dimension (callers split oversized patches first; see
+  // split_oversized).
+  [[nodiscard]] StitchResult pack(std::span<const common::Size> items,
+                                  common::Size canvas) const;
+
+ private:
+  StitchResult pack_guillotine(std::span<const common::Size> items,
+                               common::Size canvas,
+                               std::span<const std::size_t> order) const;
+  StitchResult pack_shelf(std::span<const common::Size> items,
+                          common::Size canvas,
+                          std::span<const std::size_t> order) const;
+  StitchResult pack_one_per_canvas(std::span<const common::Size> items) const;
+  StitchResult pack_skyline(std::span<const common::Size> items,
+                            common::Size canvas,
+                            std::span<const std::size_t> order) const;
+
+  PackHeuristic heuristic_;
+  bool sort_desc_;
+};
+
+// Cut a rectangle exceeding the canvas into a grid of tiles that each fit.
+// The paper's zones (4K frame / 4x4 grid) are at most 960x540 and normally
+// fit a 1024x1024 canvas, but a zone's minimum-enclosing rectangle can grow
+// past it; a real system must ship such patches somehow, so we tile them.
+[[nodiscard]] std::vector<common::Rect> split_oversized(
+    const common::Rect& patch, common::Size canvas);
+
+}  // namespace tangram::core

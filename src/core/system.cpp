@@ -1,0 +1,60 @@
+#include "core/system.h"
+
+namespace tangram::core {
+
+TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
+                             ResultFn on_result)
+    : config_(config), on_result_(std::move(on_result)) {
+  platform_ = std::make_unique<serverless::FunctionPlatform>(
+      simulator, config_.platform, config_.function_latency, config_.seed);
+
+  // Offline profiling stage: run the estimator's 1000-iteration campaign
+  // against (a copy of) the deployed function's latency distribution.
+  LatencyEstimator::Config est = config_.estimator;
+  est.sigma_multiplier = config_.slack_sigma;
+  est.max_profiled_batch =
+      std::max(1, platform_->max_canvases_per_batch(config_.canvas));
+  estimator_ = std::make_unique<LatencyEstimator>(platform_->latency_model(),
+                                                  config_.canvas, est);
+
+  InvokerConfig inv;
+  inv.canvas = config_.canvas;
+  inv.max_canvases =
+      std::max(1, platform_->max_canvases_per_batch(config_.canvas));
+  invoker_ = std::make_unique<SloAwareInvoker>(
+      simulator, StitchSolver(config_.heuristic), *estimator_, inv,
+      [this](Batch&& batch) { dispatch(std::move(batch)); });
+}
+
+void TangramSystem::receive_patch(Patch patch) {
+  if (patch.region.width > config_.canvas.width ||
+      patch.region.height > config_.canvas.height) {
+    const auto tiles = split_oversized(patch.region, config_.canvas);
+    for (const auto& tile : tiles) {
+      Patch sub = patch;
+      sub.region = tile;
+      sub.bytes = patch.bytes / tiles.size();
+      invoker_->on_patch(std::move(sub));
+    }
+    return;
+  }
+  invoker_->on_patch(std::move(patch));
+}
+
+void TangramSystem::flush() { invoker_->flush(); }
+
+void TangramSystem::dispatch(Batch&& batch) {
+  // Paper API 2: invoke(canvases) — one serverless call per batch.
+  serverless::RequestSpec spec;
+  spec.num_canvases = batch.canvas_count();
+  spec.canvas = config_.canvas;
+  spec.num_items = batch.total_patches;
+  platform_->invoke(spec, [this, batch = std::move(batch)](
+                              const serverless::InvocationRecord& record) {
+    if (!on_result_) return;
+    for (const auto& canvas : batch.canvases)
+      for (const auto& patch : canvas.patches) on_result_(patch, record);
+  });
+}
+
+}  // namespace tangram::core

@@ -1,0 +1,73 @@
+// TangramSystem: the plug-and-play cloud-side facade from Section IV of the
+// paper.
+//
+//   class Tangram(canvas_size) { receive_patch(...); invoke(...); }
+//
+// The facade owns the whole cloud stack — latency estimator (profiled
+// offline on construction), patch-stitching solver, SLO-aware invoker, and
+// the serverless function platform — and exposes the paper's two-call API:
+// feed it patches, get per-patch inference completions back.  Swapping the
+// downstream model (detection -> pose estimation -> segmentation) is a
+// Config change; no scheduler code is touched.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/estimator.h"
+#include "core/invoker.h"
+#include "core/patch.h"
+#include "core/stitcher.h"
+#include "serverless/platform.h"
+#include "sim/simulator.h"
+
+namespace tangram::core {
+
+class TangramSystem {
+ public:
+  struct Config {
+    common::Size canvas{1024, 1024};
+    double slack_sigma = 3.0;  // Eqn. (9) multiplier
+    PackHeuristic heuristic = PackHeuristic::kGuillotineBssf;
+    serverless::PlatformConfig platform;
+    serverless::LatencyModelParams function_latency;  // the deployed model
+    LatencyEstimator::Config estimator;
+    std::uint64_t seed = 2024;
+  };
+
+  // Called once per patch when its batch's function invocation completes.
+  using ResultFn = std::function<void(const Patch&,
+                                      const serverless::InvocationRecord&)>;
+
+  TangramSystem(sim::Simulator& simulator, Config config, ResultFn on_result);
+
+  // Paper API 1: the scheduler receives a patch from an edge camera.
+  // Oversized patches are tiled to the canvas automatically.
+  void receive_patch(Patch patch);
+
+  // Dispatch whatever is still queued (shutdown / end of stream).
+  void flush();
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const SloAwareInvoker& invoker() const { return *invoker_; }
+  [[nodiscard]] const serverless::FunctionPlatform& platform() const {
+    return *platform_;
+  }
+  [[nodiscard]] const LatencyEstimator& estimator() const {
+    return *estimator_;
+  }
+  [[nodiscard]] double total_cost() const { return platform_->total_cost(); }
+
+ private:
+  void dispatch(Batch&& batch);
+
+  Config config_;
+  ResultFn on_result_;
+  std::unique_ptr<serverless::FunctionPlatform> platform_;
+  std::unique_ptr<LatencyEstimator> estimator_;
+  std::unique_ptr<SloAwareInvoker> invoker_;
+};
+
+}  // namespace tangram::core

@@ -1,0 +1,28 @@
+// Umbrella header: the public Tangram API.
+//
+// A downstream user typically needs:
+//   * partition_frame()          — edge-side Algorithm 1
+//   * StitchSolver               — cloud-side canvas packing
+//   * LatencyEstimator           — offline mu + 3 sigma profiling
+//   * SloAwareInvoker            — the online SLO-aware batching loop
+//   * FunctionPlatform           — the serverless execution backend
+// plus the simulation substrate (Simulator, Link) to run everything on
+// virtual time.  See examples/quickstart.cpp for the minimal wiring.
+
+#pragma once
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/estimator.h"
+#include "core/invoker.h"
+#include "core/mapping.h"
+#include "core/partitioner.h"
+#include "core/patch.h"
+#include "core/stitcher.h"
+#include "core/system.h"
+#include "net/link.h"
+#include "serverless/cost.h"
+#include "serverless/latency_model.h"
+#include "serverless/platform.h"
+#include "sim/simulator.h"

@@ -1,0 +1,181 @@
+#include "experiments/accuracy.h"
+
+#include "core/mapping.h"
+#include "core/stitcher.h"
+#include "vision/metrics.h"
+
+namespace tangram::experiments {
+
+namespace {
+
+using vision::ApAccumulator;
+using vision::Detection;
+using vision::DetectorModel;
+
+double native_resolution(const SceneTrace& trace) {
+  return static_cast<double>(trace.spec.frame.height);
+}
+
+// Detect within each region of every evaluation frame and accumulate AP.
+template <typename RegionsOf>
+double regions_ap(const SceneTrace& trace, const AccuracyConfig& config,
+                  RegionsOf&& regions_of) {
+  DetectorModel detector(config.profile, common::Rng(config.seed, 31));
+  ApAccumulator acc;
+  const double resolution = native_resolution(trace);
+  for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+    const FrameRecord& frame = trace.eval_frame(i);
+    std::vector<Detection> detections;
+    for (const common::Rect& region : regions_of(frame)) {
+      auto dets =
+          detector.detect_region(frame.objects, region, config.scale,
+                                 resolution);
+      detections.insert(detections.end(), dets.begin(), dets.end());
+    }
+    acc.add_frame(DetectorModel::merge_detections(std::move(detections)),
+                  frame.objects);
+  }
+  return acc.average_precision(0.5);
+}
+
+}  // namespace
+
+double full_frame_ap(const SceneTrace& trace, const AccuracyConfig& config) {
+  const common::Rect full{0, 0, trace.spec.frame.width,
+                          trace.spec.frame.height};
+  return regions_ap(trace, config,
+                    [&](const FrameRecord&) {
+                      return std::vector<common::Rect>{full};
+                    });
+}
+
+double partitioned_ap(const SceneTrace& trace, const AccuracyConfig& config) {
+  return regions_ap(trace, config,
+                    [](const FrameRecord& f) { return f.patches; });
+}
+
+double roi_only_ap(const SceneTrace& trace, const AccuracyConfig& config) {
+  return regions_ap(trace, config,
+                    [](const FrameRecord& f) { return f.rois; });
+}
+
+double content_aware_ap(const SceneTrace& trace,
+                        const AccuracyConfig& config) {
+  return roi_only_ap(trace, config);
+}
+
+double stitched_canvas_ap(const SceneTrace& trace, common::Size canvas_size,
+                          const AccuracyConfig& config) {
+  DetectorModel detector(config.profile, common::Rng(config.seed, 31));
+  const core::StitchSolver solver;
+  ApAccumulator acc;
+  const double resolution = native_resolution(trace);
+
+  for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+    const FrameRecord& frame = trace.eval_frame(i);
+    if (frame.patches.empty()) {
+      acc.add_frame({}, frame.objects);
+      continue;
+    }
+
+    // 1. Stitch the frame's patches (the per-frame-request mode of Fig. 8).
+    std::vector<common::Size> sizes;
+    sizes.reserve(frame.patches.size());
+    for (const auto& p : frame.patches) sizes.push_back(p.size());
+    const auto packing = solver.pack(sizes, canvas_size);
+
+    // Build the Batch structure the scheduler would hand to the function.
+    core::Batch batch;
+    batch.canvases.resize(static_cast<std::size_t>(packing.canvas_count));
+    std::vector<core::Patch> patches(frame.patches.size());
+    for (std::size_t p = 0; p < frame.patches.size(); ++p) {
+      patches[p].id = p;
+      patches[p].frame_index = frame.frame_index;
+      patches[p].region = frame.patches[p];
+      const auto& placement = packing.placements[p];
+      auto& canvas =
+          batch.canvases[static_cast<std::size_t>(placement.canvas_index)];
+      canvas.patches.push_back(patches[p]);
+      canvas.positions.push_back(placement.position);
+    }
+
+    // 2. Run the detector on every canvas: ground truth translated into
+    //    canvas coordinates through the stitching transform.
+    std::vector<core::CanvasDetection> canvas_detections;
+    for (std::size_t c = 0; c < batch.canvases.size(); ++c) {
+      const auto& canvas = batch.canvases[c];
+      std::vector<video::GroundTruthObject> canvas_truth;
+      for (std::size_t p = 0; p < canvas.patches.size(); ++p) {
+        const common::Rect& region = canvas.patches[p].region;
+        const common::Point pos = canvas.positions[p];
+        for (const auto& obj : frame.objects) {
+          const common::Rect visible = common::intersect(obj.box, region);
+          if (visible.empty()) continue;
+          canvas_truth.push_back(video::GroundTruthObject{
+              obj.id, common::Rect{visible.x - region.x + pos.x,
+                                   visible.y - region.y + pos.y,
+                                   visible.width, visible.height}});
+        }
+      }
+      const common::Rect canvas_rect{0, 0, canvas_size.width,
+                                     canvas_size.height};
+      for (const auto& det : detector.detect_region(canvas_truth, canvas_rect,
+                                                    1.0, resolution)) {
+        core::CanvasDetection cd;
+        cd.canvas_index = static_cast<int>(c);
+        cd.box = det.box;
+        cd.confidence = det.confidence;
+        cd.label = det.gt_id;  // carried through for deduplication
+        canvas_detections.push_back(cd);
+      }
+    }
+
+    // 3. Map detections back into the frame and run NMS — overlapping
+    //    patches can see the same person twice, and a real deployment has
+    //    no ground-truth ids to deduplicate with.
+    std::vector<Detection> frame_detections;
+    for (const auto& mapped :
+         core::map_batch_detections(batch, canvas_detections)) {
+      Detection det;
+      det.box = mapped.box;
+      det.confidence = mapped.confidence;
+      det.gt_id = mapped.label;
+      frame_detections.push_back(det);
+    }
+    frame_detections = non_maximum_suppression(std::move(frame_detections));
+
+    acc.add_frame(std::move(frame_detections), frame.objects);
+  }
+  return acc.average_precision(0.5);
+}
+
+double server_driven_ap(const SceneTrace& trace, double first_pass_scale,
+                        const AccuracyConfig& config) {
+  DetectorModel first_pass(config.profile,
+                           common::Rng(config.seed ^ 0xABCDEF, 37));
+  DetectorModel second_pass(config.profile, common::Rng(config.seed, 31));
+  ApAccumulator acc;
+  const double resolution = native_resolution(trace);
+  const common::Rect full{0, 0, trace.spec.frame.width,
+                          trace.spec.frame.height};
+
+  for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+    const FrameRecord& frame = trace.eval_frame(i);
+    // Round 1: low-quality full frame; the cloud feeds back RoI locations.
+    const auto coarse = first_pass.detect_region(frame.objects, full,
+                                                 first_pass_scale, resolution);
+    // Round 2: only the found regions return in high quality.
+    std::vector<Detection> detections;
+    for (const auto& d : coarse) {
+      const common::Rect region = common::inflate(d.box, 14, full);
+      auto dets =
+          second_pass.detect_region(frame.objects, region, 1.0, resolution);
+      detections.insert(detections.end(), dets.begin(), dets.end());
+    }
+    acc.add_frame(DetectorModel::merge_detections(std::move(detections)),
+                  frame.objects);
+  }
+  return acc.average_precision(0.5);
+}
+
+}  // namespace tangram::experiments

@@ -1,0 +1,60 @@
+// Accuracy evaluation pipelines (Fig. 2a, Fig. 4b, Table III, Table IV).
+//
+// Every evaluator runs the stochastic cloud-detector model over a scene
+// trace's evaluation frames under a particular visibility regime (full
+// frame, RoIs only, partitioned patches, server-driven two-round, ...) and
+// computes AP@0.5 with the real matching-based evaluator — accuracies are
+// measured outcomes of the pipeline, not constants.
+
+#pragma once
+
+#include <cstdint>
+
+#include "experiments/trace.h"
+#include "vision/detector.h"
+
+namespace tangram::experiments {
+
+struct AccuracyConfig {
+  vision::DetectorProfile profile;  // default: the 4K-trained Yolov8x model
+  double scale = 1.0;               // input resize factor before inference
+  std::uint64_t seed = 17;
+};
+
+// Inference over the entire frame (the "Full Frame" accuracy reference).
+[[nodiscard]] double full_frame_ap(const SceneTrace& trace,
+                                   const AccuracyConfig& config = {});
+
+// Inference restricted to the Algorithm-1 patches of the trace.
+[[nodiscard]] double partitioned_ap(const SceneTrace& trace,
+                                    const AccuracyConfig& config = {});
+
+// Inference restricted to the raw extractor RoIs (no partitioning) —
+// the "RoI" column of Table IV.
+[[nodiscard]] double roi_only_ap(const SceneTrace& trace,
+                                 const AccuracyConfig& config = {});
+
+// Server-driven two-round pipeline (DDS-style): a low-quality first pass
+// (downsized by `first_pass_scale`) locates RoIs; only regions it finds are
+// re-examined in high quality.
+[[nodiscard]] double server_driven_ap(const SceneTrace& trace,
+                                      double first_pass_scale = 0.25,
+                                      const AccuracyConfig& config = {});
+
+// Content-aware single-round pipeline: a lightweight on-edge model proposes
+// RoIs (trace extractor output), which are inspected in high quality.
+// Equivalent to roi_only_ap but named for the Fig. 2(a) comparison.
+[[nodiscard]] double content_aware_ap(const SceneTrace& trace,
+                                      const AccuracyConfig& config = {});
+
+// The full Tangram inference round trip: patches are stitched onto canvases
+// (Algorithm 2's solver), the detector runs on each *canvas*, and detections
+// are mapped back to frame coordinates through the inverse stitching
+// transform (core/mapping.h).  This is the measurement behind the paper's
+// claim that stitching — unlike resizing or padding — does not degrade
+// accuracy: stitched_canvas_ap should track partitioned_ap.
+[[nodiscard]] double stitched_canvas_ap(const SceneTrace& trace,
+                                        common::Size canvas = {1024, 1024},
+                                        const AccuracyConfig& config = {});
+
+}  // namespace tangram::experiments

@@ -1,0 +1,261 @@
+#include "experiments/harness.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace tangram::experiments {
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kTangram: return "Tangram";
+    case StrategyKind::kFullFrame: return "FullFrame";
+    case StrategyKind::kMaskedFrame: return "MaskedFrame";
+    case StrategyKind::kElf: return "ELF";
+    case StrategyKind::kClipper: return "Clipper";
+    case StrategyKind::kMArk: return "MArk";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_frame_level(StrategyKind kind) {
+  return kind == StrategyKind::kFullFrame ||
+         kind == StrategyKind::kMaskedFrame;
+}
+
+}  // namespace
+
+RunResult run_end_to_end(const std::vector<const SceneTrace*>& cameras,
+                         StrategyKind kind, const EndToEndConfig& config) {
+  if (cameras.empty())
+    throw std::invalid_argument("run_end_to_end: no cameras");
+
+  sim::Simulator sim;
+  // One shared uplink, or one per camera when dedicated_uplinks is set.
+  std::vector<std::unique_ptr<net::Link>> links;
+  const std::size_t link_count = config.dedicated_uplinks ? cameras.size() : 1;
+  for (std::size_t i = 0; i < link_count; ++i)
+    links.push_back(std::make_unique<net::Link>(sim, config.bandwidth_mbps));
+  const auto link_of = [&](std::size_t cam) -> net::Link& {
+    return *links[config.dedicated_uplinks ? cam : 0];
+  };
+  serverless::FunctionPlatform platform(sim, config.platform, config.latency,
+                                        config.seed);
+
+  RunResult result;
+  result.strategy = to_string(kind);
+
+  const auto on_patch_done = [&](const core::Patch& patch,
+                                 const serverless::InvocationRecord& record) {
+    const double latency = record.finish_time - patch.generation_time;
+    result.e2e_latency.add(latency);
+    ++result.completed_items;
+    if (record.finish_time > patch.deadline() + 1e-9) ++result.violations;
+  };
+  const auto on_frame_done = [&](const baselines::FrameWork& frame,
+                                 const serverless::InvocationRecord& record) {
+    const double latency = record.finish_time - frame.generation_time;
+    result.e2e_latency.add(latency);
+    ++result.completed_items;
+    if (record.finish_time > frame.deadline() + 1e-9) ++result.violations;
+  };
+
+  std::unique_ptr<baselines::Strategy> strategy;
+  baselines::TangramStrategy* tangram = nullptr;
+  switch (kind) {
+    case StrategyKind::kTangram: {
+      baselines::TangramOptions options;
+      options.canvas = config.canvas;
+      options.slack_sigma_multiplier = config.slack_sigma;
+      options.heuristic = config.heuristic;
+      auto t = std::make_unique<baselines::TangramStrategy>(
+          sim, platform, options, on_patch_done);
+      tangram = t.get();
+      strategy = std::move(t);
+      break;
+    }
+    case StrategyKind::kFullFrame:
+      strategy =
+          std::make_unique<baselines::FullFrameStrategy>(platform,
+                                                         on_frame_done);
+      break;
+    case StrategyKind::kMaskedFrame:
+      strategy = std::make_unique<baselines::MaskedFrameStrategy>(
+          platform, on_frame_done);
+      break;
+    case StrategyKind::kElf:
+      strategy = std::make_unique<baselines::ElfStrategy>(
+          platform, config.elf, on_patch_done);
+      break;
+    case StrategyKind::kClipper:
+      strategy = std::make_unique<baselines::ClipperStrategy>(
+          sim, platform, config.clipper, on_patch_done);
+      break;
+    case StrategyKind::kMArk:
+      strategy = std::make_unique<baselines::MArkStrategy>(
+          sim, platform, config.mark, on_patch_done);
+      break;
+  }
+
+  // Schedule every evaluation frame of every camera.  Camera phases are
+  // staggered so the shared uplink sees an interleaved arrival process
+  // rather than synchronized frame bursts.
+  std::uint64_t next_patch_id = 1;
+  for (std::size_t cam = 0; cam < cameras.size(); ++cam) {
+    const SceneTrace& trace = *cameras[cam];
+    const double frame_interval = 1.0 / trace.spec.fps;
+    const double phase =
+        config.stagger_cameras
+            ? frame_interval * static_cast<double>(cam) /
+                  static_cast<double>(cameras.size())
+            : 0.0;
+    result.eval_frames += trace.eval_frame_count();
+
+    for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+      const FrameRecord& frame = trace.eval_frame(i);
+      const double capture =
+          phase + static_cast<double>(i) * frame_interval;
+      sim.schedule_at(capture + config.edge_latency_s, [&, cam, capture,
+                                                        &frame = frame]() {
+        if (is_frame_level(kind)) {
+          const std::size_t bytes = kind == StrategyKind::kFullFrame
+                                        ? frame.full_frame_bytes
+                                        : frame.masked_frame_bytes;
+          result.total_bytes += bytes;
+          baselines::FrameWork work;
+          work.camera_id = static_cast<int>(cam);
+          work.frame_index = frame.frame_index;
+          work.generation_time = capture;
+          work.slo = cam < config.per_camera_slo.size()
+                         ? config.per_camera_slo[cam]
+                         : config.slo_s;
+          work.megapixels =
+              static_cast<double>(cameras[cam]->spec.frame.area()) / 1.0e6;
+          work.masked = kind == StrategyKind::kMaskedFrame;
+          link_of(cam).send(bytes,
+                            [&, work] { strategy->on_frame(work); });
+          return;
+        }
+        // All patch-level strategies (Tangram, ELF-as-trigger-in-sequence,
+        // Clipper, MArk) consume the same Algorithm-1 patch stream; the
+        // ELF-system encode (elf_patch_bytes) only enters the Fig. 9
+        // bandwidth study via per_frame_cost().
+        for (std::size_t p = 0; p < frame.patches.size(); ++p) {
+          const std::size_t bytes = frame.patch_bytes[p];
+          result.total_bytes += bytes;
+          core::Patch patch;
+          patch.id = next_patch_id++;
+          patch.camera_id = static_cast<int>(cam);
+          patch.frame_index = frame.frame_index;
+          patch.region = frame.patches[p];
+          patch.generation_time = capture;
+          patch.slo = cam < config.per_camera_slo.size()
+                          ? config.per_camera_slo[cam]
+                          : config.slo_s;
+          patch.bytes = bytes;
+          link_of(cam).send(bytes,
+                            [&, patch] { strategy->on_patch(patch); });
+        }
+      });
+    }
+  }
+
+  sim.run();
+  strategy->flush();
+  sim.run();
+
+  result.total_cost = platform.total_cost();
+  result.invocations = platform.invocations();
+  result.instances_created = platform.instances_created();
+  result.stragglers = platform.stragglers();
+  result.retries = platform.retries();
+  result.exec_latency = platform.execution_latency();
+  result.execution_busy_s = platform.busy_seconds();
+  for (const auto& link : links)
+    result.transmission_busy_s += link->transmission_time().sum();
+  result.makespan_s = sim.now();
+  if (tangram != nullptr) {
+    result.canvas_efficiency = tangram->invoker().canvas_efficiency();
+    result.batch_canvases = tangram->invoker().batch_canvas_count();
+    result.batch_patches = tangram->invoker().batch_patch_count();
+  }
+  return result;
+}
+
+PerFrameCostResult per_frame_cost(const SceneTrace& trace, StrategyKind kind,
+                                  const EndToEndConfig& config) {
+  PerFrameCostResult result;
+  result.strategy = to_string(kind);
+  result.eval_frames = trace.eval_frame_count();
+
+  serverless::InferenceLatencyModel model(config.latency,
+                                          common::Rng(config.seed, 13));
+  const core::StitchSolver solver(config.heuristic);
+  const auto& resources = config.platform.resources;
+  const auto& pricing = config.platform.pricing;
+  const double frame_mp =
+      static_cast<double>(trace.spec.frame.area()) / 1.0e6;
+
+  for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+    const FrameRecord& frame = trace.eval_frame(i);
+    switch (kind) {
+      case StrategyKind::kTangram: {
+        if (frame.patches.empty()) break;
+        std::vector<common::Size> sizes;
+        sizes.reserve(frame.patches.size());
+        for (const auto& p : frame.patches) sizes.push_back(p.size());
+        const auto packing = solver.pack(sizes, config.canvas);
+        const double exec =
+            model.mean_batch_latency(packing.canvas_count, config.canvas);
+        result.total_cost +=
+            serverless::invocation_cost(exec, resources, pricing);
+        result.execution_s += exec;
+        result.total_bytes += frame.total_patch_bytes();
+        ++result.invocations;
+        break;
+      }
+      case StrategyKind::kFullFrame: {
+        const double exec = model.mean_image_latency(frame_mp, false);
+        result.total_cost +=
+            serverless::invocation_cost(exec, resources, pricing);
+        result.execution_s += exec;
+        result.total_bytes += frame.full_frame_bytes;
+        ++result.invocations;
+        break;
+      }
+      case StrategyKind::kMaskedFrame: {
+        const double exec = model.mean_image_latency(frame_mp, true);
+        result.total_cost +=
+            serverless::invocation_cost(exec, resources, pricing);
+        result.execution_s += exec;
+        result.total_bytes += frame.masked_frame_bytes;
+        ++result.invocations;
+        break;
+      }
+      case StrategyKind::kElf: {
+        for (const auto& p : frame.patches) {
+          const double mp = static_cast<double>(p.area()) *
+                            config.elf.area_expansion / 1.0e6;
+          const double exec = model.mean_image_latency(mp, false);
+          result.total_cost +=
+              serverless::invocation_cost(exec, resources, pricing);
+          result.execution_s += exec;
+          ++result.invocations;
+        }
+        result.total_bytes += frame.total_elf_bytes();
+        break;
+      }
+      case StrategyKind::kClipper:
+      case StrategyKind::kMArk:
+        throw std::invalid_argument(
+            "per_frame_cost: Clipper/MArk are end-to-end-only baselines");
+    }
+  }
+  return result;
+}
+
+}  // namespace tangram::experiments

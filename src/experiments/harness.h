@@ -1,0 +1,109 @@
+// Experiment runners shared by the bench binaries.
+//
+// Two execution modes mirror the paper's evaluation:
+//  * per_frame_cost(): the Fig. 8 / Fig. 9 methodology — every frame is one
+//    request (Tangram 4x4 stitches the frame's patches onto canvases as a
+//    single request; Full/Masked send the whole frame; ELF triggers one
+//    invocation per patch), so cost and bandwidth can be compared without
+//    SLO dynamics;
+//  * run_end_to_end(): the Fig. 12-14 methodology — cameras stream over a
+//    shared bandwidth-limited uplink into a live scheduler on the
+//    discrete-event simulator, with SLO-violation accounting.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/strategies.h"
+#include "common/stats.h"
+#include "experiments/trace.h"
+#include "serverless/platform.h"
+
+namespace tangram::experiments {
+
+enum class StrategyKind {
+  kTangram,
+  kFullFrame,
+  kMaskedFrame,
+  kElf,
+  kClipper,
+  kMArk,
+};
+
+[[nodiscard]] std::string to_string(StrategyKind kind);
+
+struct EndToEndConfig {
+  double bandwidth_mbps = 40.0;
+  double slo_s = 1.0;
+  common::Size canvas{1024, 1024};
+  double slack_sigma = 3.0;
+  core::PackHeuristic heuristic = core::PackHeuristic::kGuillotineBssf;
+  serverless::PlatformConfig platform;  // paper: 2 vCPU / 4 GB / 6 GB VRAM
+  // GPU speed profile: default = the paper's RTX 4090 testbed (Fig. 12-14);
+  // use serverless::alibaba_function_compute_params() for the Fig. 8/9 study.
+  serverless::LatencyModelParams latency;
+  baselines::ClipperOptions clipper;
+  baselines::MArkOptions mark;
+  baselines::ElfOptions elf;
+  double edge_latency_s = 0.02;  // on-edge partition + encode time
+  bool stagger_cameras = true;   // offset camera phases on the shared link
+  // false: all cameras share one `bandwidth_mbps` uplink (the paper's
+  // setting).  true: each camera gets its own `bandwidth_mbps` link
+  // (e.g. per-site cellular uplinks).
+  bool dedicated_uplinks = false;
+  // Override the per-camera SLO; entry i applies to camera i (cameras
+  // beyond the vector use slo_s).  Lets mixed SLO classes share one
+  // scheduler — the invoker handles heterogeneous deadlines natively.
+  std::vector<double> per_camera_slo;
+  std::uint64_t seed = 7;
+};
+
+struct RunResult {
+  std::string strategy;
+  double total_cost = 0.0;
+  std::size_t invocations = 0;
+  int instances_created = 0;
+  std::size_t stragglers = 0;  // fault injection counters
+  std::size_t retries = 0;
+  std::size_t completed_items = 0;  // patches (or frames) finished
+  std::size_t violations = 0;
+  common::Sampler e2e_latency;      // capture -> inference result, per item
+  common::Sampler exec_latency;     // per invocation
+  common::Sampler canvas_efficiency;  // Tangram only
+  common::Sampler batch_canvases;     // Tangram only
+  common::Sampler batch_patches;      // Tangram only
+  std::size_t total_bytes = 0;
+  double transmission_busy_s = 0.0;  // total link-occupied time
+  double execution_busy_s = 0.0;     // total billed function time
+  double makespan_s = 0.0;
+  std::size_t eval_frames = 0;
+
+  [[nodiscard]] double violation_rate() const {
+    return completed_items
+               ? static_cast<double>(violations) / completed_items
+               : 0.0;
+  }
+};
+
+// Live streaming run over the shared uplink; one camera per entry in
+// `cameras` (entries may alias the same trace for load scaling).
+[[nodiscard]] RunResult run_end_to_end(
+    const std::vector<const SceneTrace*>& cameras, StrategyKind kind,
+    const EndToEndConfig& config);
+
+// Per-frame single-request accounting (no SLO dynamics).
+struct PerFrameCostResult {
+  std::string strategy;
+  double total_cost = 0.0;
+  std::size_t total_bytes = 0;
+  double execution_s = 0.0;
+  std::size_t invocations = 0;
+  std::size_t eval_frames = 0;
+};
+
+[[nodiscard]] PerFrameCostResult per_frame_cost(const SceneTrace& trace,
+                                                StrategyKind kind,
+                                                const EndToEndConfig& config);
+
+}  // namespace tangram::experiments

@@ -1,0 +1,78 @@
+#include "experiments/trace.h"
+
+#include "core/stitcher.h"
+#include "vision/extractors.h"
+
+namespace tangram::experiments {
+
+SceneTrace build_trace(const video::SceneSpec& spec,
+                       const TraceConfig& config) {
+  SceneTrace trace;
+  trace.spec = spec;
+  trace.config = config;
+  trace.frames.reserve(static_cast<std::size_t>(spec.total_frames));
+
+  video::SyntheticScene scene(spec);
+  video::RasterConfig raster_config = config.raster;
+  raster_config.seed ^= spec.seed * 0x9E3779B97F4A7C15ULL;
+  video::FrameRasterizer rasterizer(spec.frame, raster_config);
+  auto extractor = vision::make_extractor(config.extractor,
+                                          raster_config.analysis, spec.seed);
+  const bool needs_pixels =
+      config.extractor == "GMM" || config.extractor == "OpticalFlow";
+
+  for (int f = 0; f < spec.total_frames; ++f) {
+    video::FrameTruth truth = scene.next_frame();
+
+    vision::FrameInput input;
+    input.frame = spec.frame;
+    input.truth = &truth;
+    video::Image frame_pixels;
+    if (needs_pixels) {
+      frame_pixels = rasterizer.render(truth);
+      input.analysis_frame = &frame_pixels;
+      input.rasterizer = &rasterizer;
+    }
+
+    FrameRecord rec;
+    rec.frame_index = f;
+    rec.capture_time = truth.timestamp;
+    rec.rois = extractor->extract(input);
+    rec.truth_area_fraction = truth.roi_proportion(spec.frame);
+
+    // Algorithm 1 + canvas tiling for oversized enclosing rectangles.
+    const auto raw_patches =
+        core::partition_patches(spec.frame, rec.rois, config.partition);
+    for (const auto& p : raw_patches) {
+      for (const auto& tile : core::split_oversized(p, config.canvas))
+        rec.patches.push_back(tile);
+    }
+
+    // Byte accounting.
+    std::int64_t roi_area = 0;
+    double roi_perimeter = 0.0;
+    for (const auto& r : rec.rois) {
+      roi_area += r.area();
+      roi_perimeter += 2.0 * (r.width + r.height);
+    }
+    std::int64_t patch_area = 0;
+    for (const auto& p : rec.patches) {
+      patch_area += p.area();
+      rec.patch_bytes.push_back(config.codec.patch_bytes(p.size()));
+      rec.elf_patch_bytes.push_back(config.codec.elf_patch_bytes(p.size()));
+    }
+    const double frame_area = static_cast<double>(spec.frame.area());
+    rec.roi_area_fraction = static_cast<double>(roi_area) / frame_area;
+    rec.patch_area_fraction = static_cast<double>(patch_area) / frame_area;
+    rec.full_frame_bytes =
+        config.codec.full_frame_bytes(spec.frame, rec.roi_area_fraction);
+    rec.masked_frame_bytes = config.codec.masked_frame_bytes(
+        spec.frame, rec.roi_area_fraction, roi_perimeter);
+
+    rec.objects = std::move(truth.objects);
+    trace.frames.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+}  // namespace tangram::experiments

@@ -1,0 +1,82 @@
+// Workload traces: per-scene, per-frame precomputed artifacts shared by all
+// experiment runners.
+//
+// Building a trace runs the real edge pipeline once — scene generation,
+// rasterization, GMM background subtraction, connected components, adaptive
+// frame partitioning, codec byte accounting — and records everything the
+// schedulers and accuracy evaluators need.  The expensive vision work thus
+// runs once per (scene, extractor, partition) combination, and the
+// bandwidth/SLO sweeps (60 end-to-end runs in Fig. 12) replay the cached
+// trace on the discrete-event simulator.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/partitioner.h"
+#include "video/codec.h"
+#include "video/raster.h"
+#include "video/scene.h"
+#include "video/scene_catalog.h"
+
+namespace tangram::experiments {
+
+struct TraceConfig {
+  core::PartitionConfig partition;         // zone grid (X x Y)
+  common::Size canvas{1024, 1024};         // oversized patches split to this
+  video::RasterConfig raster;              // analysis resolution etc.
+  video::CodecModel codec;
+  std::string extractor = "GMM";           // see vision::make_extractor
+};
+
+struct FrameRecord {
+  int frame_index = 0;
+  double capture_time = 0.0;
+  std::vector<video::GroundTruthObject> objects;  // ground truth
+  std::vector<common::Rect> rois;                 // extractor output
+  std::vector<common::Rect> patches;              // Algorithm 1 (+tiling)
+  std::vector<std::size_t> patch_bytes;           // per patch (Tangram path)
+  std::vector<std::size_t> elf_patch_bytes;       // per patch (ELF encode)
+  std::size_t full_frame_bytes = 0;
+  std::size_t masked_frame_bytes = 0;
+  double roi_area_fraction = 0.0;       // extractor RoIs / frame
+  double truth_area_fraction = 0.0;     // ground-truth boxes / frame
+  double patch_area_fraction = 0.0;     // patches / frame
+
+  [[nodiscard]] std::size_t total_patch_bytes() const {
+    std::size_t sum = 0;
+    for (const auto b : patch_bytes) sum += b;
+    return sum;
+  }
+  [[nodiscard]] std::size_t total_elf_bytes() const {
+    std::size_t sum = 0;
+    for (const auto b : elf_patch_bytes) sum += b;
+    return sum;
+  }
+};
+
+struct SceneTrace {
+  video::SceneSpec spec;
+  TraceConfig config;
+  std::vector<FrameRecord> frames;  // full sequence, training included
+
+  // Evaluation frames only (the paper trains/profiles on the first 100).
+  [[nodiscard]] std::size_t first_eval_frame() const {
+    return static_cast<std::size_t>(spec.training_frames);
+  }
+  [[nodiscard]] std::size_t eval_frame_count() const {
+    return frames.size() - first_eval_frame();
+  }
+  [[nodiscard]] const FrameRecord& eval_frame(std::size_t i) const {
+    return frames.at(first_eval_frame() + i);
+  }
+};
+
+// Run the edge pipeline over the whole scene.
+[[nodiscard]] SceneTrace build_trace(const video::SceneSpec& spec,
+                                     const TraceConfig& config = {});
+
+}  // namespace tangram::experiments

@@ -1,0 +1,43 @@
+// Alibaba Cloud Function Compute cost model — Eqn. (1) of the paper:
+//
+//   C = Tf * (nC*PC + mM*PM + mG*PG) + Preq
+//
+// with the paper's published unit prices.  Execution time is billed by the
+// (fractional) second of wall-clock function time.
+
+#pragma once
+
+#include <stdexcept>
+
+namespace tangram::serverless {
+
+struct ResourceConfig {
+  double vcpu = 2.0;      // nC
+  double memory_gb = 4.0; // mM
+  double gpu_gb = 6.0;    // mG — VRAM allocated to the function instance
+};
+
+struct Pricing {
+  double vcpu_per_second = 2.138e-5;    // PC ($ / vCPU-s)
+  double memory_per_gb_second = 2.138e-5;  // PM ($ / GB-s)
+  double gpu_per_gb_second = 1.05e-4;   // PG ($ / GB-s)
+  double per_request = 2.0e-7;          // Preq ($ / invocation)
+};
+
+// Resource cost per second of execution for a given configuration.
+[[nodiscard]] inline double resource_rate(const ResourceConfig& r,
+                                          const Pricing& p = {}) {
+  return r.vcpu * p.vcpu_per_second + r.memory_gb * p.memory_per_gb_second +
+         r.gpu_gb * p.gpu_per_gb_second;
+}
+
+// Cost of one invocation running for `execution_seconds`.
+[[nodiscard]] inline double invocation_cost(double execution_seconds,
+                                            const ResourceConfig& r,
+                                            const Pricing& p = {}) {
+  if (execution_seconds < 0)
+    throw std::invalid_argument("invocation_cost: negative execution time");
+  return execution_seconds * resource_rate(r, p) + p.per_request;
+}
+
+}  // namespace tangram::serverless

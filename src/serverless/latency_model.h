@@ -1,0 +1,125 @@
+// Batch inference latency model — the GPU-execution ground truth of the
+// simulation.
+//
+// The paper profiles Yolov8x on an RTX 4090 inside the serverless container;
+// we replace the GPU with a parametric model and profile *that* exactly the
+// way the paper profiles the hardware (the LatencyEstimator in src/core runs
+// the same 1000-iteration offline campaign).  Two request shapes exist:
+//
+//  * canvas batches (Tangram / Clipper / MArk):  Tf = t0 + c1 * B^alpha * s
+//    where B is the batch size, s the canvas area relative to 1024x1024, and
+//    alpha < 1 captures the sub-linear batching gain that makes batching
+//    worthwhile in the first place;
+//  * single variable-size images (Full Frame / Masked Frame / ELF patches):
+//    Tf = t0 + c_mp * megapixels (optionally discounted for masked frames,
+//    whose blank regions are cheap at inference time).
+//
+// Jitter is lognormal, matching the long right tail of GPU serving latency
+// (the reason the paper uses mu + 3 sigma slack).
+//
+// Calibration anchors (see EXPERIMENTS.md for the fit):
+//  * one 1024x1024 canvas  ->  ~0.16 s  (Fig. 14a lower band)
+//  * nine canvases         ->  ~0.50 s  (Fig. 14a upper band)
+//  * full 4K frame         ->  ~0.75 s  (Fig. 8 Full Frame per-frame cost)
+
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace tangram::serverless {
+
+struct LatencyModelParams {
+  // Canvas-batch path: Tf = overhead + per_canvas * B^alpha * area_scale.
+  double overhead_s = 0.030;     // per-invocation fixed work (decode, NMS, IO)
+  double per_canvas_s = 0.060;   // first 1024x1024 canvas
+  double batch_alpha = 0.75;     // B^alpha scaling of the batch term
+  // Single-image path: Tf = image_overhead + per_mp * megapixels^gamma.
+  // gamma < 1 on a fast GPU: small inputs underutilize the device, so
+  // shrinking a patch does not shrink its latency proportionally — the
+  // effect that makes per-patch inference (ELF) wasteful.
+  double image_overhead_s = 0.012;
+  double per_megapixel_s = 0.021;
+  double image_gamma = 0.55;
+  double masked_compute_discount = 0.87;  // masked frames skip some compute
+  double jitter_sigma = 0.055;   // lognormal sigma of multiplicative noise
+  double reference_canvas_area = 1024.0 * 1024.0;
+};
+
+// Defaults model the paper's local RTX 4090 testbed (Figs. 12-14): one
+// canvas ~0.09 s, nine ~0.34 s, a 0.3 MP patch ~23 ms — consistent with the
+// Fig. 14(a) execution band and Fig. 2(b)'s ~59 ms/RoI service time.
+//
+// This profile models the public Alibaba Function Compute GPU instances
+// used for the Fig. 8 / Fig. 9 cost study, where a full 4K frame takes
+// ~1.65 s (0.168$/134 frames at the Eqn.-1 resource rate), an ELF patch
+// invocation ~0.25 s, and scaling is linear in area (the slower device is
+// saturated even by small inputs).
+[[nodiscard]] inline LatencyModelParams alibaba_function_compute_params() {
+  LatencyModelParams p;
+  p.overhead_s = 0.18;
+  p.per_canvas_s = 0.26;
+  p.batch_alpha = 0.80;
+  p.image_overhead_s = 0.18;
+  p.per_megapixel_s = 0.178;
+  p.image_gamma = 1.0;
+  p.masked_compute_discount = 0.87;
+  p.jitter_sigma = 0.07;
+  return p;
+}
+
+class InferenceLatencyModel {
+ public:
+  explicit InferenceLatencyModel(LatencyModelParams params = {},
+                                 common::Rng rng = common::Rng(7, 77))
+      : params_(params), rng_(rng) {}
+
+  [[nodiscard]] const LatencyModelParams& params() const { return params_; }
+
+  // Deterministic mean execution time for a batch of `batch_size` canvases.
+  [[nodiscard]] double mean_batch_latency(int batch_size,
+                                          common::Size canvas) const {
+    if (batch_size <= 0)
+      throw std::invalid_argument("mean_batch_latency: batch_size must be >0");
+    const double area_scale =
+        static_cast<double>(canvas.area()) / params_.reference_canvas_area;
+    return params_.overhead_s +
+           params_.per_canvas_s *
+               std::pow(static_cast<double>(batch_size), params_.batch_alpha) *
+               area_scale;
+  }
+
+  // Deterministic mean execution time for one variable-size image.
+  [[nodiscard]] double mean_image_latency(double megapixels,
+                                          bool masked = false) const {
+    if (megapixels < 0)
+      throw std::invalid_argument("mean_image_latency: negative size");
+    const double compute = params_.per_megapixel_s *
+                           std::pow(megapixels, params_.image_gamma) *
+                           (masked ? params_.masked_compute_discount : 1.0);
+    return params_.image_overhead_s + compute;
+  }
+
+  // Stochastic samples (mean * lognormal jitter with unit median).
+  [[nodiscard]] double sample_batch_latency(int batch_size,
+                                            common::Size canvas) {
+    return mean_batch_latency(batch_size, canvas) * jitter();
+  }
+  [[nodiscard]] double sample_image_latency(double megapixels,
+                                            bool masked = false) {
+    return mean_image_latency(megapixels, masked) * jitter();
+  }
+
+ private:
+  [[nodiscard]] double jitter() {
+    return rng_.lognormal(0.0, params_.jitter_sigma);
+  }
+
+  LatencyModelParams params_;
+  common::Rng rng_;
+};
+
+}  // namespace tangram::serverless

@@ -1,0 +1,166 @@
+#include "serverless/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tangram::serverless {
+
+FunctionPlatform::FunctionPlatform(sim::Simulator& simulator,
+                                   PlatformConfig config,
+                                   LatencyModelParams latency_params,
+                                   std::uint64_t seed)
+    : sim_(simulator),
+      config_(config),
+      latency_(latency_params, common::Rng(seed, 5)),
+      fault_rng_(seed ^ 0xFA17ED, 15) {
+  if (config_.max_instances < 1)
+    throw std::invalid_argument("FunctionPlatform: max_instances must be >=1");
+}
+
+int FunctionPlatform::max_canvases_per_batch(common::Size canvas) const {
+  const double free_gb = config_.resources.gpu_gb - config_.model_gpu_gb;
+  if (free_gb <= 0) return 0;
+  const double per_canvas_gb = config_.canvas_gpu_gb *
+                               static_cast<double>(canvas.area()) /
+                               (1024.0 * 1024.0);
+  return static_cast<int>(std::floor(free_gb / per_canvas_gb));
+}
+
+int FunctionPlatform::find_idle_warm_instance() {
+  const int n = static_cast<int>(instances_.size());
+  for (int step = 0; step < n; ++step) {
+    const int i = (round_robin_ + step) % n;
+    const Instance& inst = instances_[static_cast<std::size_t>(i)];
+    if (inst.started && inst.busy_until <= sim_.now() &&
+        inst.warm_until > sim_.now()) {
+      round_robin_ = (i + 1) % n;
+      return i;
+    }
+  }
+  return -1;
+}
+
+void FunctionPlatform::invoke(const RequestSpec& spec, Callback on_complete) {
+  if (spec.num_canvases > 0 &&
+      spec.num_canvases > max_canvases_per_batch(spec.canvas))
+    throw std::invalid_argument(
+        "FunctionPlatform::invoke: batch exceeds GPU memory (constraint 5)");
+  if (spec.num_canvases <= 0 && spec.image_megapixels <= 0.0)
+    throw std::invalid_argument("FunctionPlatform::invoke: empty request");
+
+  Pending pending{spec, std::move(on_complete), sim_.now()};
+  if (has_capacity()) {
+    dispatch(std::move(pending));
+  } else {
+    // All instances busy and fleet at max: FIFO backlog, drained on finish.
+    backlog_.push_back(std::move(pending));
+  }
+}
+
+int FunctionPlatform::find_cooled_slot() const {
+  for (int i = 0; i < static_cast<int>(instances_.size()); ++i) {
+    const Instance& inst = instances_[static_cast<std::size_t>(i)];
+    if (inst.busy_until <= sim_.now() && inst.warm_until <= sim_.now())
+      return i;
+  }
+  return -1;
+}
+
+bool FunctionPlatform::has_capacity() const {
+  const int n = static_cast<int>(instances_.size());
+  for (int i = 0; i < n; ++i) {
+    const Instance& inst = instances_[static_cast<std::size_t>(i)];
+    if (inst.busy_until <= sim_.now()) return true;  // warm-idle or cooled
+  }
+  return n < config_.max_instances;
+}
+
+void FunctionPlatform::dispatch(Pending pending) {
+  const int warm = find_idle_warm_instance();
+  if (warm >= 0) {
+    start_on_instance(warm, std::move(pending), /*cold=*/false);
+    return;
+  }
+  // Reuse an expired (cooled-down) slot or grow the fleet: both pay a cold
+  // start.  An expired slot is equivalent to a fresh instance.
+  const int cooled = find_cooled_slot();
+  if (cooled >= 0) {
+    start_on_instance(cooled, std::move(pending), /*cold=*/true);
+    return;
+  }
+  if (static_cast<int>(instances_.size()) >= config_.max_instances)
+    throw std::logic_error("FunctionPlatform::dispatch without capacity");
+  instances_.push_back(Instance{});
+  start_on_instance(static_cast<int>(instances_.size()) - 1,
+                    std::move(pending), /*cold=*/true);
+}
+
+void FunctionPlatform::start_on_instance(int instance, Pending pending,
+                                         bool cold) {
+  Instance& inst = instances_[static_cast<std::size_t>(instance)];
+
+  const auto sample_exec = [&] {
+    return pending.spec.num_canvases > 0
+               ? latency_.sample_batch_latency(pending.spec.num_canvases,
+                                               pending.spec.canvas)
+               : latency_.sample_image_latency(pending.spec.image_megapixels,
+                                               pending.spec.masked);
+  };
+
+  double setup = cold ? config_.cold_start_s : 0.0;
+  double exec = sample_exec();
+  bool straggler = false;
+  int attempts = 1;
+  const FailureInjection& faults = config_.faults;
+  if (faults.enabled()) {
+    if (cold && fault_rng_.bernoulli(faults.cold_spike_probability))
+      setup *= faults.cold_spike_factor;
+    if (fault_rng_.bernoulli(faults.straggler_probability)) {
+      exec *= faults.straggler_factor;
+      straggler = true;
+      ++stragglers_;
+    }
+    if (fault_rng_.bernoulli(faults.failure_probability)) {
+      // Transient failure: the attempt runs to completion, fails, and the
+      // platform retries once; both attempts are billed.
+      exec += faults.retry_delay_s + sample_exec();
+      attempts = 2;
+      ++retries_;
+    }
+  }
+
+  InvocationRecord record;
+  record.id = next_id_++;
+  record.submit_time = pending.submit_time;
+  record.start_time = sim_.now() + setup;
+  record.finish_time = record.start_time + exec;
+  record.execution_s = exec;
+  record.cost = invocation_cost(exec, config_.resources, config_.pricing);
+  record.instance_id = instance;
+  record.cold_start = cold;
+  record.straggler = straggler;
+  record.attempts = attempts;
+  record.spec = pending.spec;
+
+  inst.started = true;
+  inst.busy_until = record.finish_time;
+  inst.warm_until = record.finish_time + config_.keepalive_s;
+
+  total_cost_ += record.cost;
+  busy_seconds_ += exec;
+  execution_latency_.add(exec);
+  queueing_delay_.add(sim_.now() - pending.submit_time);
+
+  sim_.schedule_at(record.finish_time,
+                   [this, record, cb = std::move(pending.callback)]() {
+                     if (cb) cb(record);
+                     // Drain the backlog now that an instance freed up.
+                     while (!backlog_.empty() && has_capacity()) {
+                       Pending next = std::move(backlog_.front());
+                       backlog_.pop_front();
+                       dispatch(std::move(next));
+                     }
+                   });
+}
+
+}  // namespace tangram::serverless

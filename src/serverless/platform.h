@@ -1,0 +1,159 @@
+// Serverless function platform simulator (Alibaba Function Compute stand-in).
+//
+// Models the properties the paper's scheduler depends on:
+//  * elastic scale-out: a new function instance spins up in
+//    `cold_start_s` when no warm instance is idle (the "tens of
+//    milliseconds to low seconds" serverless start-up band),
+//  * keep-alive: instances stay warm for `keepalive_s` after last use and
+//    are then reclaimed,
+//  * per-instance concurrency = 1 (the paper's configuration), with FIFO
+//    queueing once `max_instances` is reached,
+//  * GPU memory constraint: a batch of B canvases needs
+//    B * canvas_gpu_gb + model_gpu_gb <= resources.gpu_gb (constraint (5)),
+//  * pay-per-use billing via cost.h (Eqn. (1)).
+//
+// Dispatch across warm instances is round-robin, standing in for the
+// prototype's NGINX default load balancing.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "serverless/cost.h"
+#include "serverless/latency_model.h"
+#include "sim/simulator.h"
+
+namespace tangram::serverless {
+
+// Fault model for robustness experiments: real serverless platforms exhibit
+// execution stragglers (noisy neighbours, GC pauses), occasional cold-start
+// spikes (image pulls), and transient failures that the platform retries.
+struct FailureInjection {
+  double straggler_probability = 0.0;   // invocation runs `straggler_factor`x
+  double straggler_factor = 3.0;
+  double cold_spike_probability = 0.0;  // cold start takes `cold_spike_factor`x
+  double cold_spike_factor = 5.0;
+  double failure_probability = 0.0;     // attempt fails; retried once
+  double retry_delay_s = 0.05;
+
+  [[nodiscard]] bool enabled() const {
+    return straggler_probability > 0 || cold_spike_probability > 0 ||
+           failure_probability > 0;
+  }
+};
+
+struct PlatformConfig {
+  ResourceConfig resources;
+  Pricing pricing;
+  double cold_start_s = 0.45;
+  double keepalive_s = 60.0;
+  int max_instances = 64;
+  double canvas_gpu_gb = 0.50;  // w: VRAM per canvas in a batch
+  double model_gpu_gb = 1.50;   // tau: resident model weights
+  FailureInjection faults;
+};
+
+// One inference request.  num_canvases > 0 selects the canvas-batch latency
+// path; otherwise image_megapixels describes a single variable-size input.
+struct RequestSpec {
+  int num_canvases = 0;
+  common::Size canvas{1024, 1024};
+  double image_megapixels = 0.0;
+  bool masked = false;
+  int num_items = 0;  // carried metadata (e.g. patches inside the batch)
+};
+
+struct InvocationRecord {
+  std::uint64_t id = 0;
+  double submit_time = 0.0;
+  double start_time = 0.0;   // when execution began (after queue + cold start)
+  double finish_time = 0.0;
+  double execution_s = 0.0;  // billed time (includes retried attempts)
+  double cost = 0.0;
+  int instance_id = -1;
+  bool cold_start = false;
+  bool straggler = false;    // fault injection hit this invocation
+  int attempts = 1;          // > 1 when a transient failure was retried
+  RequestSpec spec;
+};
+
+class FunctionPlatform {
+ public:
+  using Callback = std::function<void(const InvocationRecord&)>;
+
+  FunctionPlatform(sim::Simulator& simulator, PlatformConfig config,
+                   LatencyModelParams latency_params = {},
+                   std::uint64_t seed = 2024);
+
+  // Submit a request; `on_complete` fires at finish time (may be empty).
+  void invoke(const RequestSpec& spec, Callback on_complete);
+
+  // Largest batch the GPU memory constraint admits for canvases of the given
+  // size (canvas_gpu_gb is calibrated for a 1024x1024 canvas and scales with
+  // area).
+  [[nodiscard]] int max_canvases_per_batch(
+      common::Size canvas = {1024, 1024}) const;
+
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+  [[nodiscard]] InferenceLatencyModel& latency_model() { return latency_; }
+
+  // --- accounting -----------------------------------------------------------
+  [[nodiscard]] double total_cost() const { return total_cost_; }
+  [[nodiscard]] std::uint64_t invocations() const { return next_id_; }
+  [[nodiscard]] int instances_created() const {
+    return static_cast<int>(instances_.size());
+  }
+  [[nodiscard]] std::size_t queued_requests() const { return backlog_.size(); }
+  [[nodiscard]] const common::Sampler& execution_latency() const {
+    return execution_latency_;
+  }
+  [[nodiscard]] const common::Sampler& queueing_delay() const {
+    return queueing_delay_;
+  }
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+  [[nodiscard]] std::size_t stragglers() const { return stragglers_; }
+  [[nodiscard]] std::size_t retries() const { return retries_; }
+
+ private:
+  struct Instance {
+    double busy_until = 0.0;
+    double warm_until = 0.0;
+    bool started = false;  // has finished its first cold start
+  };
+  struct Pending {
+    RequestSpec spec;
+    Callback callback;
+    double submit_time;
+  };
+
+  // True if a request submitted now could start immediately (idle warm
+  // instance, cooled-down slot, or room to grow the fleet).
+  [[nodiscard]] bool has_capacity() const;
+  // Start `pending` now; requires has_capacity().
+  void dispatch(Pending pending);
+  void start_on_instance(int instance, Pending pending, bool cold);
+  int find_idle_warm_instance();
+  int find_cooled_slot() const;
+
+  sim::Simulator& sim_;
+  PlatformConfig config_;
+  InferenceLatencyModel latency_;
+  common::Rng fault_rng_;
+  std::vector<Instance> instances_;
+  std::deque<Pending> backlog_;
+  int round_robin_ = 0;
+  std::uint64_t next_id_ = 0;
+  double total_cost_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::size_t stragglers_ = 0;
+  std::size_t retries_ = 0;
+  common::Sampler execution_latency_;
+  common::Sampler queueing_delay_;
+};
+
+}  // namespace tangram::serverless

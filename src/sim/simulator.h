@@ -1,0 +1,138 @@
+// Discrete-event simulation core.
+//
+// Everything in this repository — cameras, links, the scheduler, serverless
+// function instances — runs on one virtual clock owned by a Simulator.  An
+// event is just a (time, sequence, callback) triple; ties on time break by
+// insertion order so runs are deterministic.
+//
+// Design notes:
+//  * Single-threaded by construction.  A DES needs no locks, and the paper's
+//    experiments (hours of 10-camera streaming) replay in milliseconds.
+//  * Events may be cancelled via the EventHandle returned by schedule(); the
+//    SLO-aware invoker relies on this to re-arm its "invoke at t_remain"
+//    timer every time a new patch arrives (Algorithm 2).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace tangram::sim {
+
+using TimePoint = double;  // seconds of simulated time
+using Duration = double;   // seconds
+
+class Simulator;
+
+// Cancellation token for a scheduled event.  Copyable; all copies refer to
+// the same underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `when` (>= now).
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn) {
+    if (when < now_ - 1e-12)
+      throw std::invalid_argument("Simulator::schedule_at: time in the past");
+    auto alive = std::make_shared<bool>(true);
+    queue_.push(Entry{when, seq_++, alive, std::move(fn)});
+    return EventHandle{std::move(alive)};
+  }
+
+  // Schedule `fn` to run `delay` seconds from now.
+  EventHandle schedule_in(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+  }
+
+  // Run until the queue is empty.  Returns the number of events executed.
+  std::size_t run() { return run_until(kForever); }
+
+  // Run all events with time <= horizon; the clock ends at the later of the
+  // last executed event and `horizon` (if any event was pending past it the
+  // clock stops at horizon).
+  std::size_t run_until(TimePoint horizon) {
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (top.when > horizon) break;
+      Entry entry = top;
+      queue_.pop();
+      if (!*entry.alive) continue;  // cancelled
+      *entry.alive = false;         // mark fired
+      now_ = entry.when;
+      entry.fn();
+      ++executed;
+    }
+    if (horizon != kForever && now_ < horizon) now_ = horizon;
+    return executed;
+  }
+
+  // Execute exactly one pending event (skipping cancelled ones).
+  // Returns false if the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      Entry entry = queue_.top();
+      queue_.pop();
+      if (!*entry.alive) continue;
+      *entry.alive = false;
+      now_ = entry.when;
+      entry.fn();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool idle() const {
+    // Cheap check; cancelled-but-queued entries may make this pessimistic,
+    // which only affects diagnostics.
+    return queue_.empty();
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  static constexpr TimePoint kForever =
+      std::numeric_limits<double>::infinity();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    std::shared_ptr<bool> alive;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimePoint now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace tangram::sim

@@ -1,0 +1,192 @@
+#include "video/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tangram::video {
+
+double SceneSpec::mean_object_width() const {
+  // Choose the mean object area so that `base_population` objects cover
+  // `roi_proportion` of the frame on average.  Lognormal widths with sigma s
+  // have E[w^2] = exp(2 mu + 2 s^2); solve for mu.
+  const double frame_area = static_cast<double>(frame.area());
+  const double mean_area =
+      roi_proportion * frame_area / std::max(1, base_population);
+  // area = width * height = aspect * width^2  =>  E[w^2] = mean_area/aspect
+  const double ew2 = mean_area / object_aspect;
+  const double mu = 0.5 * (std::log(ew2) - 2.0 * size_sigma * size_sigma);
+  return std::exp(mu + 0.5 * size_sigma * size_sigma);  // E[w]
+}
+
+double FrameTruth::roi_proportion(const common::Size& frame) const {
+  std::int64_t total = 0;
+  for (const auto& o : objects) total += o.box.area();
+  const double denom = static_cast<double>(frame.area());
+  return denom > 0 ? static_cast<double>(total) / denom : 0.0;
+}
+
+SyntheticScene::SyntheticScene(SceneSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed, 7) {
+  cluster_centers_.reserve(static_cast<std::size_t>(spec_.clusters));
+  for (int c = 0; c < spec_.clusters; ++c) {
+    // Keep hot spots away from the frame border so clusters stay visible.
+    cluster_centers_.emplace_back(
+        rng_.uniform(0.15, 0.85) * spec_.frame.width,
+        rng_.uniform(0.15, 0.85) * spec_.frame.height);
+  }
+  spawn(spec_.base_population);
+}
+
+SyntheticScene::Track SyntheticScene::make_track() {
+  const int cluster = rng_.uniform_int(0, spec_.clusters - 1);
+  const auto [ccx, ccy] = cluster_centers_[static_cast<std::size_t>(cluster)];
+  const double spread = spec_.cluster_spread * spec_.frame.width;
+
+  const double mean_w = spec_.mean_object_width();
+  const double mu = std::log(mean_w) - 0.5 * spec_.size_sigma * spec_.size_sigma;
+  double w = rng_.lognormal(mu, spec_.size_sigma);
+  w = std::clamp(w, 6.0, spec_.frame.width * 0.25);
+  const double h = std::min<double>(w * spec_.object_aspect,
+                                    spec_.frame.height * 0.5);
+
+  Track t;
+  t.id = next_id_++;
+  t.cluster = cluster;
+  t.cx = std::clamp(rng_.normal(ccx, spread), 0.0,
+                    static_cast<double>(spec_.frame.width));
+  t.cy = std::clamp(rng_.normal(ccy, spread), 0.0,
+                    static_cast<double>(spec_.frame.height));
+  t.width = w;
+  t.height = h;
+  t.paused = rng_.bernoulli(spec_.stationary_fraction);
+  const double angle = rng_.uniform(0.0, 2.0 * 3.14159265358979);
+  const double speed = std::max(
+      0.0, rng_.normal(spec_.speed_px, spec_.speed_px * 0.4));
+  t.vx = speed * std::cos(angle);
+  t.vy = speed * std::sin(angle);
+  return t;
+}
+
+void SyntheticScene::spawn(int count) {
+  for (int i = 0; i < count; ++i) tracks_.push_back(make_track());
+}
+
+void SyntheticScene::step_track(Track& t) {
+  // Episodic pausing: walkers stop (with the rate implied by the steady-
+  // state stationary_fraction) and resume after ~1/resume_rate frames.
+  const double f = std::clamp(spec_.stationary_fraction, 0.0, 0.95);
+  const double pause_rate = spec_.resume_rate * f / std::max(1e-9, 1.0 - f);
+  if (t.paused) {
+    if (rng_.bernoulli(spec_.resume_rate)) {
+      t.paused = false;
+    } else {
+      // Standing people sway a couple of native pixels around their spot —
+      // sub-pixel at analysis resolution, so frame differencing loses them
+      // at once while the GMM only forgets them after ~1/alpha frames.
+      t.cx += rng_.normal(0.0, 1.5);
+      t.cy += rng_.normal(0.0, 1.5);
+      return;
+    }
+  } else if (rng_.bernoulli(pause_rate)) {
+    t.paused = true;
+    return;
+  }
+  // Random-walk velocity with damping and attraction back to the home
+  // cluster, so crowds churn locally but the spatial structure persists (as
+  // in fixed-camera footage of plazas / crossings).  Damping + pull make the
+  // position an Ornstein-Uhlenbeck process whose stationary spread stays
+  // near the cluster's initial spread instead of diffusing over the frame.
+  const auto [ccx, ccy] = cluster_centers_[static_cast<std::size_t>(t.cluster)];
+  const double pull = 0.025;
+  const double damping = 0.90;
+  t.vx = damping * t.vx + rng_.normal(0.0, spec_.speed_px * 0.30) +
+         pull * (ccx - t.cx);
+  t.vy = damping * t.vy + rng_.normal(0.0, spec_.speed_px * 0.30) +
+         pull * (ccy - t.cy);
+
+  // Cap speed at 3x the scene mean.
+  const double speed = std::hypot(t.vx, t.vy);
+  const double cap = 3.0 * spec_.speed_px;
+  if (speed > cap) {
+    t.vx *= cap / speed;
+    t.vy *= cap / speed;
+  }
+
+  t.cx += t.vx;
+  t.cy += t.vy;
+
+  // Reflect off frame borders.
+  if (t.cx < 0) { t.cx = -t.cx; t.vx = -t.vx; }
+  if (t.cy < 0) { t.cy = -t.cy; t.vy = -t.vy; }
+  if (t.cx > spec_.frame.width) {
+    t.cx = 2.0 * spec_.frame.width - t.cx;
+    t.vx = -t.vx;
+  }
+  if (t.cy > spec_.frame.height) {
+    t.cy = 2.0 * spec_.frame.height - t.cy;
+    t.vy = -t.vy;
+  }
+}
+
+FrameTruth SyntheticScene::next_frame() {
+  // --- population dynamics -------------------------------------------------
+  // Ornstein-Uhlenbeck activity level around 1.0 plus occasional decaying
+  // surges, reproducing the irregular peaks of Fig. 3(a).
+  activity_ += spec_.activity_theta * (1.0 - activity_) +
+               rng_.normal(0.0, spec_.activity_sigma);
+  activity_ = std::clamp(activity_, 0.55, 1.8);
+  if (rng_.bernoulli(spec_.activity_peak_rate))
+    surge_ = rng_.uniform(0.25, 0.6);
+  surge_ *= 0.90;
+
+  const int target = static_cast<int>(
+      std::lround(spec_.base_population * (activity_ + surge_)));
+
+  // Departures: random objects leave; arrivals: spawn toward the target.
+  if (static_cast<int>(tracks_.size()) > target) {
+    const int excess = static_cast<int>(tracks_.size()) - target;
+    // Remove up to ~20% of the excess per frame, so transitions are gradual.
+    const int remove = std::max(1, excess / 5);
+    for (int i = 0; i < remove && !tracks_.empty(); ++i) {
+      const auto victim = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<int>(tracks_.size()) - 1));
+      tracks_[victim] = tracks_.back();
+      tracks_.pop_back();
+    }
+  } else if (static_cast<int>(tracks_.size()) < target) {
+    const int deficit = target - static_cast<int>(tracks_.size());
+    spawn(std::max(1, deficit / 5));
+  }
+
+  for (auto& t : tracks_) step_track(t);
+
+  // --- snapshot ------------------------------------------------------------
+  FrameTruth truth;
+  truth.frame_index = frame_index_;
+  truth.timestamp = frame_index_ / spec_.fps;
+  truth.objects.reserve(tracks_.size());
+  const common::Rect bounds{0, 0, spec_.frame.width, spec_.frame.height};
+  for (const auto& t : tracks_) {
+    common::Rect box{
+        static_cast<int>(std::lround(t.cx - t.width / 2.0)),
+        static_cast<int>(std::lround(t.cy - t.height / 2.0)),
+        static_cast<int>(std::lround(t.width)),
+        static_cast<int>(std::lround(t.height))};
+    box = common::clamp_to(box, bounds);
+    if (box.area() < 16) continue;  // fully off-frame or degenerate
+    truth.objects.push_back(GroundTruthObject{t.id, box});
+  }
+  ++frame_index_;
+  return truth;
+}
+
+std::vector<FrameTruth> SyntheticScene::generate_all(const SceneSpec& spec) {
+  SyntheticScene scene(spec);
+  std::vector<FrameTruth> frames;
+  frames.reserve(static_cast<std::size_t>(spec.total_frames));
+  for (int i = 0; i < spec.total_frames; ++i)
+    frames.push_back(scene.next_frame());
+  return frames;
+}
+
+}  // namespace tangram::video

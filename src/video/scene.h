@@ -1,0 +1,118 @@
+// Synthetic high-resolution scene generation.
+//
+// This is the PANDA4K stand-in (see DESIGN.md, Substitutions).  A scene is a
+// population of person-like objects moving inside a 4K frame.  The generator
+// produces per-frame ground truth (object id + bounding box); the rasterizer
+// (raster.h) turns that truth into pixels for the background-subtraction
+// substrate.
+//
+// Dynamics are calibrated against the paper's measurements:
+//  * per-scene object counts and RoI-area proportions match Table I,
+//  * the RoI proportion fluctuates irregularly in the 5-15% band with
+//    occasional peaks (Fig. 3a) via an Ornstein-Uhlenbeck activity process
+//    that modulates the target population,
+//  * objects cluster spatially (entrances, crossings) so the adaptive
+//    partitioner sees the dense/sparse zone structure of Fig. 11.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace tangram::video {
+
+struct SceneSpec {
+  std::string name;
+  int index = 0;                       // 1-based scene id (Table I row)
+  common::Size frame{3840, 2160};     // native capture resolution
+  int total_frames = 234;              // full sequence length
+  int training_frames = 100;           // paper: first 100 frames train/profile
+  double fps = 1.0;                    // PANDA-style low-rate capture
+
+  int base_population = 120;           // mean number of visible objects
+  double roi_proportion = 0.055;       // target mean total-RoI / frame area
+  double object_aspect = 2.3;          // height / width of a person box
+  double size_sigma = 0.45;            // lognormal sigma of object width
+
+  int clusters = 4;                    // spatial hot spots
+  double cluster_spread = 0.10;        // sigma as fraction of frame width
+  double speed_px = 14.0;              // mean speed (native px per frame)
+  // Steady-state fraction of people standing still (queueing, sitting,
+  // waiting).  Pauses are episodic: a walker stops for ~1/resume_rate frames
+  // and then moves again.  While paused a person sways a few native pixels —
+  // invisible to frame differencing immediately, and absorbed into the GMM
+  // background only after ~1/learning_rate frames.  This asymmetry is the
+  // real-world gap between motion-based extractors (Table IV).
+  double stationary_fraction = 0.20;
+  double resume_rate = 0.04;  // per-frame probability a paused person moves
+
+  double activity_theta = 0.06;        // OU mean reversion of activity level
+  double activity_sigma = 0.10;        // OU volatility
+  double activity_peak_rate = 0.015;   // chance/frame of a transient surge
+
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] int evaluation_frames() const {
+    return total_frames - training_frames;
+  }
+  // Mean object width implied by the Table I calibration targets.
+  [[nodiscard]] double mean_object_width() const;
+};
+
+struct GroundTruthObject {
+  int id = 0;
+  common::Rect box;
+};
+
+struct FrameTruth {
+  int frame_index = 0;    // 0-based within the sequence
+  double timestamp = 0.0; // seconds since sequence start
+  std::vector<GroundTruthObject> objects;
+
+  [[nodiscard]] double roi_proportion(const common::Size& frame) const;
+};
+
+// Stateful generator; call next_frame() total_frames times.  Deterministic
+// for a given spec (including seed).
+class SyntheticScene {
+ public:
+  explicit SyntheticScene(SceneSpec spec);
+
+  [[nodiscard]] const SceneSpec& spec() const { return spec_; }
+  [[nodiscard]] int frames_generated() const { return frame_index_; }
+
+  FrameTruth next_frame();
+
+  // Generate the whole sequence in one call.
+  [[nodiscard]] static std::vector<FrameTruth> generate_all(
+      const SceneSpec& spec);
+
+ private:
+  struct Track {
+    int id;
+    double cx, cy;       // center, native px
+    double vx, vy;       // velocity, native px / frame
+    double width, height;
+    int cluster;
+    bool paused;
+  };
+
+  void spawn(int count);
+  Track make_track();
+  void step_track(Track& t);
+
+  SceneSpec spec_;
+  common::Rng rng_;
+  std::vector<Track> tracks_;
+  std::vector<std::pair<double, double>> cluster_centers_;
+  double activity_ = 1.0;     // OU process around 1.0
+  double surge_ = 0.0;        // decaying transient peak
+  int frame_index_ = 0;
+  int next_id_ = 0;
+};
+
+}  // namespace tangram::video

@@ -1,0 +1,22 @@
+// The ten PANDA4K scene specifications, calibrated to Table I of the paper:
+// per-scene person counts (54-1730), RoI proportions (2.6-14.2 %), and frame
+// counts (133-234 total, first 100 reserved for training/profiling).
+
+#pragma once
+
+#include <vector>
+
+#include "video/scene.h"
+
+namespace tangram::video {
+
+// Returns all ten scenes in Table I order (index 1..10).
+[[nodiscard]] std::vector<SceneSpec> panda4k_catalog();
+
+// One scene by Table I index (1-based).  Throws std::out_of_range otherwise.
+[[nodiscard]] SceneSpec panda4k_scene(int index);
+
+// A reduced-size scene for unit tests: small frame, few objects, few frames.
+[[nodiscard]] SceneSpec test_scene(std::uint64_t seed = 42);
+
+}  // namespace tangram::video

@@ -1,0 +1,114 @@
+#include "vision/components.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tangram::vision {
+
+video::Mask dilate(const video::Mask& mask, int radius) {
+  if (radius <= 0) return mask;
+  const int w = mask.width(), h = mask.height();
+  // Two-pass separable dilation (horizontal then vertical).
+  video::Mask tmp(w, h, 0), out(w, h, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!mask.at(x, y)) continue;
+      const int x0 = std::max(0, x - radius), x1 = std::min(w - 1, x + radius);
+      for (int xx = x0; xx <= x1; ++xx) tmp.at(xx, y) = 255;
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!tmp.at(x, y)) continue;
+      const int y0 = std::max(0, y - radius), y1 = std::min(h - 1, y + radius);
+      for (int yy = y0; yy <= y1; ++yy) out.at(x, yy) = 255;
+    }
+  }
+  return out;
+}
+
+std::vector<Component> connected_components(const video::Mask& mask,
+                                            int min_area_px) {
+  const int w = mask.width(), h = mask.height();
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(w) * h, 0);
+  std::vector<Component> out;
+  std::vector<int> stack;
+
+  auto idx = [w](int x, int y) { return static_cast<std::size_t>(y) * w + x; };
+
+  std::int32_t next_label = 0;
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      if (!mask.at(sx, sy) || labels[idx(sx, sy)]) continue;
+      ++next_label;
+      Component comp;
+      int minx = sx, miny = sy, maxx = sx, maxy = sy;
+      stack.clear();
+      stack.push_back(sy * w + sx);
+      labels[idx(sx, sy)] = next_label;
+      while (!stack.empty()) {
+        const int p = stack.back();
+        stack.pop_back();
+        const int x = p % w, y = p / w;
+        ++comp.area_px;
+        minx = std::min(minx, x);
+        maxx = std::max(maxx, x);
+        miny = std::min(miny, y);
+        maxy = std::max(maxy, y);
+        constexpr int dx[] = {1, -1, 0, 0};
+        constexpr int dy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int nx = x + dx[d], ny = y + dy[d];
+          if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+          if (!mask.at(nx, ny) || labels[idx(nx, ny)]) continue;
+          labels[idx(nx, ny)] = next_label;
+          stack.push_back(ny * w + nx);
+        }
+      }
+      if (comp.area_px >= min_area_px) {
+        comp.box = common::Rect::from_corners(minx, miny, maxx + 1, maxy + 1);
+        out.push_back(comp);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Merge boxes whose expanded versions overlap, until a fixed point.
+std::vector<common::Rect> merge_close_boxes(std::vector<common::Rect> boxes,
+                                            int gap) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < boxes.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+        const common::Rect gi{boxes[i].x - gap, boxes[i].y - gap,
+                              boxes[i].width + 2 * gap,
+                              boxes[i].height + 2 * gap};
+        if (common::overlaps(gi, boxes[j])) {
+          boxes[i] = common::bounding_union(boxes[i], boxes[j]);
+          boxes.erase(boxes.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return boxes;
+}
+
+}  // namespace
+
+std::vector<common::Rect> extract_blobs(const video::Mask& mask,
+                                        const ComponentParams& params) {
+  const video::Mask dilated = dilate(mask, params.dilate_radius);
+  const auto comps = connected_components(dilated, params.min_area_px);
+  std::vector<common::Rect> boxes;
+  boxes.reserve(comps.size());
+  for (const auto& c : comps) boxes.push_back(c.box);
+  return merge_close_boxes(std::move(boxes), params.merge_gap_px);
+}
+
+}  // namespace tangram::vision

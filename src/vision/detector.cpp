@@ -1,0 +1,119 @@
+#include "vision/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tangram::vision {
+
+DetectorProfile yolov8x_4k_profile() {
+  return DetectorProfile{};  // defaults are the 4K-trained model
+}
+
+DetectorProfile yolov8x_480p_profile() {
+  DetectorProfile p;
+  p.name = "yolov8x-480p";
+  p.train_resolution = 480.0;
+  // Trained on downsized data: copes with small effective sizes better, but
+  // with a lower ceiling (less detail available during training) and a
+  // stronger sensitivity to operating far above its training resolution.
+  p.plateau = 0.84;
+  p.d50_px = 8.5;
+  p.steepness = 1.35;
+  p.mismatch_beta = 0.30;
+  return p;
+}
+
+DetectorModel::DetectorModel(DetectorProfile profile, common::Rng rng)
+    : profile_(std::move(profile)), rng_(rng) {}
+
+double DetectorModel::detection_probability(double d_px, double scale,
+                                            double native_resolution) const {
+  if (d_px <= 0.0 || scale <= 0.0) return 0.0;
+  // Effective object size after resizing the input.
+  const double d_eff = d_px * scale;
+  const double z =
+      profile_.steepness * (std::log2(d_eff) - std::log2(profile_.d50_px));
+  const double size_term = 1.0 / (1.0 + std::exp(-z));
+  // Domain mismatch between the presented resolution and training resolution.
+  const double presented_resolution = native_resolution * scale;
+  const double mismatch =
+      std::abs(std::log2(presented_resolution / profile_.train_resolution));
+  const double mismatch_term = std::exp(-profile_.mismatch_beta * mismatch);
+  return profile_.plateau * size_term * mismatch_term;
+}
+
+std::vector<Detection> DetectorModel::detect_region(
+    const std::vector<video::GroundTruthObject>& objects,
+    const common::Rect& region, double scale, double native_resolution) {
+  std::vector<Detection> out;
+  for (const auto& obj : objects) {
+    const common::Rect visible = common::intersect(obj.box, region);
+    if (visible.empty()) continue;
+    const double visible_fraction =
+        static_cast<double>(visible.area()) /
+        static_cast<double>(std::max<std::int64_t>(1, obj.box.area()));
+    // A truncated object is harder: the net sees a partial person.
+    const double truncation_term =
+        visible_fraction >= 0.999 ? 1.0 : std::pow(visible_fraction, 1.3);
+    const double d = std::sqrt(static_cast<double>(visible.area()));
+    const double p = detection_probability(d, scale, native_resolution) *
+                     truncation_term;
+    if (!rng_.bernoulli(p)) continue;
+
+    // Localization jitter: shift/scale the visible box slightly.
+    const double jx = rng_.normal(0.0, 0.03) * visible.width;
+    const double jy = rng_.normal(0.0, 0.03) * visible.height;
+    const double jw = 1.0 + rng_.normal(0.0, 0.05);
+    const double jh = 1.0 + rng_.normal(0.0, 0.05);
+    Detection det;
+    det.box = common::Rect{
+        visible.x + static_cast<int>(jx),
+        visible.y + static_cast<int>(jy),
+        std::max(1, static_cast<int>(visible.width * jw)),
+        std::max(1, static_cast<int>(visible.height * jh))};
+    det.gt_id = obj.id;
+    det.confidence = std::clamp(0.35 + 0.6 * p +
+                                    rng_.normal(0.0, profile_.confidence_noise),
+                                0.05, 0.999);
+    out.push_back(det);
+  }
+
+  // False positives, proportional to the presented area.
+  const double mpixels = static_cast<double>(region.area()) * scale * scale /
+                         1.0e6;
+  const int fp_count = rng_.poisson(std::max(0.0, profile_.fp_per_mpixel) *
+                                    std::max(0.0, mpixels));
+  for (int i = 0; i < fp_count; ++i) {
+    const int w = std::max(8, static_cast<int>(rng_.lognormal(3.6, 0.5)));
+    const int h = std::max(12, static_cast<int>(w * rng_.uniform(1.6, 2.8)));
+    if (region.width <= w + 1 || region.height <= h + 1) continue;
+    Detection det;
+    det.box = common::Rect{region.x + rng_.uniform_int(0, region.width - w - 1),
+                           region.y + rng_.uniform_int(0, region.height - h - 1),
+                           w, h};
+    det.gt_id = -1;
+    det.confidence = std::clamp(rng_.lognormal(std::log(0.18), 0.55), 0.05,
+                                0.95);
+    out.push_back(det);
+  }
+  return out;
+}
+
+std::vector<Detection> DetectorModel::merge_detections(
+    std::vector<Detection> detections) {
+  std::vector<Detection> out;
+  std::map<int, Detection> best;  // per ground-truth id
+  for (auto& d : detections) {
+    if (d.gt_id < 0) {
+      out.push_back(d);
+      continue;
+    }
+    auto [it, inserted] = best.try_emplace(d.gt_id, d);
+    if (!inserted && d.confidence > it->second.confidence) it->second = d;
+  }
+  for (auto& [id, d] : best) out.push_back(d);
+  return out;
+}
+
+}  // namespace tangram::vision

@@ -1,0 +1,78 @@
+// Cloud detector model (Yolov8x stand-in).
+//
+// No neural network ships with this repo; instead the detector is a
+// stochastic model over ground truth whose *measured* AP reproduces the
+// paper's accuracy results.  Per-object detection probability is a logistic
+// in log2(object pixel size), scaled by
+//   (a) the input scale factor (downsizing shrinks objects below the size
+//       floor — the Fig. 4(b) "downsize" cliff),
+//   (b) a train/test resolution-mismatch penalty (why the 480p-trained model
+//       underperforms on native 4K input — the Fig. 4(b) "upsize" curve),
+//   (c) the visible fraction when an object is cut by a patch boundary
+//       (why over-fine partitioning loses accuracy — Table III).
+// False positives arrive at a per-megapixel rate with lower confidences.
+// AP is then *computed* by the evaluator in metrics.h, never asserted.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "video/scene.h"
+#include "vision/metrics.h"
+
+namespace tangram::vision {
+
+struct DetectorProfile {
+  std::string name = "yolov8x-4k";
+  double train_resolution = 2160.0;  // vertical resolution of training data
+  double plateau = 0.93;             // recall ceiling for large objects
+  double d50_px = 16.0;  // sqrt(area) at 50% recall, at training scale
+  double steepness = 1.20;
+  double mismatch_beta = 0.08;  // recall penalty per |log2(res ratio)|
+  double fp_per_mpixel = 0.32;  // false positives per inference megapixel
+  double confidence_noise = 0.10;
+};
+
+// The two models trained in Section II-C of the paper.
+[[nodiscard]] DetectorProfile yolov8x_4k_profile();
+[[nodiscard]] DetectorProfile yolov8x_480p_profile();
+
+class DetectorModel {
+ public:
+  explicit DetectorModel(DetectorProfile profile, common::Rng rng);
+
+  [[nodiscard]] const DetectorProfile& profile() const { return profile_; }
+
+  // Probability of detecting an object of native sqrt-area `d_px`, captured
+  // at `native_resolution` vertical pixels and presented to the model after
+  // resizing by `scale` (1.0 = native).  Exposed for tests and calibration.
+  [[nodiscard]] double detection_probability(double d_px, double scale,
+                                             double native_resolution) const;
+
+  // Run "inference" over one region of a frame.
+  //  * `objects`     — ground truth in native coordinates
+  //  * `region`      — the part of the frame visible to the model (a patch,
+  //                    a canvas tile, or the whole frame)
+  //  * `scale`       — resize factor applied before inference
+  //  * `native_resolution` — vertical resolution of the capture
+  // Returned boxes are in native coordinates; `gt_id` is -1 for false
+  // positives.  An object cut by the region boundary yields (at most) a
+  // detection of its visible part.
+  [[nodiscard]] std::vector<Detection> detect_region(
+      const std::vector<video::GroundTruthObject>& objects,
+      const common::Rect& region, double scale, double native_resolution);
+
+  // Merge per-region detections of one frame: keeps the highest-confidence
+  // detection per ground-truth id and all false positives.
+  [[nodiscard]] static std::vector<Detection> merge_detections(
+      std::vector<Detection> detections);
+
+ private:
+  DetectorProfile profile_;
+  common::Rng rng_;
+};
+
+}  // namespace tangram::vision

@@ -1,0 +1,112 @@
+#include "vision/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tangram::vision {
+
+GmmBackgroundSubtractor::GmmBackgroundSubtractor(common::Size frame,
+                                                 GmmParams params)
+    : size_(frame), params_(params) {
+  if (frame.empty())
+    throw std::invalid_argument("GmmBackgroundSubtractor: empty frame size");
+  if (params_.num_gaussians < 1 || params_.num_gaussians > 8)
+    throw std::invalid_argument("GmmBackgroundSubtractor: K must be in 1..8");
+  mixtures_.resize(static_cast<std::size_t>(frame.area()) *
+                   static_cast<std::size_t>(params_.num_gaussians));
+  for (auto& g : mixtures_) g = Gaussian{0.0f, 0.0f, 0.0f};
+}
+
+bool GmmBackgroundSubtractor::process_pixel(std::size_t px, double value) {
+  const int k = params_.num_gaussians;
+  Gaussian* mix = &mixtures_[px * static_cast<std::size_t>(k)];
+  const auto alpha = static_cast<float>(params_.learning_rate);
+
+  // 1. Find the first matching component (components kept sorted by
+  //    weight/sigma fitness, approximated by weight order here).
+  int matched = -1;
+  for (int i = 0; i < k; ++i) {
+    if (mix[i].weight <= 0.0f) break;
+    const double d = value - mix[i].mean;
+    if (d * d <= params_.match_threshold * mix[i].variance) {
+      matched = i;
+      break;
+    }
+  }
+
+  if (matched >= 0) {
+    // 2a. Update the matched component.
+    Gaussian& g = mix[matched];
+    const double rho = alpha;  // Stauffer-Grimson uses alpha*N(x); the common
+                               // practical simplification uses alpha directly.
+    const double d = value - g.mean;
+    g.mean += static_cast<float>(rho * d);
+    g.variance += static_cast<float>(rho * (d * d - g.variance));
+    g.variance =
+        std::max(g.variance, static_cast<float>(params_.min_variance));
+    for (int i = 0; i < k; ++i) {
+      if (mix[i].weight <= 0.0f) break;
+      mix[i].weight += alpha * ((i == matched ? 1.0f : 0.0f) - mix[i].weight);
+    }
+  } else {
+    // 2b. Replace the weakest component with a new one centred on the value.
+    int weakest = 0;
+    for (int i = 1; i < k; ++i)
+      if (mix[i].weight < mix[weakest].weight) weakest = i;
+    mix[weakest] = Gaussian{static_cast<float>(params_.initial_weight),
+                            static_cast<float>(value),
+                            static_cast<float>(params_.initial_variance)};
+  }
+
+  // 3. Renormalize weights and keep components sorted by descending weight.
+  float wsum = 0.0f;
+  for (int i = 0; i < k; ++i) wsum += std::max(0.0f, mix[i].weight);
+  if (wsum > 0.0f)
+    for (int i = 0; i < k; ++i) mix[i].weight /= wsum;
+  std::sort(mix, mix + k,
+            [](const Gaussian& a, const Gaussian& b) {
+              return a.weight > b.weight;
+            });
+
+  // 4. Background = the top components accumulating `background_ratio`
+  //    weight.  The pixel is foreground if it matches none of them.
+  float acc = 0.0f;
+  for (int i = 0; i < k; ++i) {
+    if (mix[i].weight <= 0.0f) break;
+    acc += mix[i].weight;
+    const double d = value - mix[i].mean;
+    if (d * d <= params_.match_threshold * mix[i].variance)
+      return false;  // matches a background component
+    if (acc >= params_.background_ratio) break;
+  }
+  return true;
+}
+
+video::Mask GmmBackgroundSubtractor::apply(const video::Image& frame) {
+  if (frame.size() != size_)
+    throw std::invalid_argument("GmmBackgroundSubtractor: frame size mismatch");
+
+  video::Mask fg(size_.width, size_.height, 0);
+  const std::uint8_t* src = frame.data();
+  std::uint8_t* dst = fg.data();
+  const auto n = static_cast<std::size_t>(size_.area());
+
+  if (frames_seen_ == 0) {
+    // Bootstrap: initialize the dominant component from the first frame and
+    // report no foreground (the model has no history yet).
+    for (std::size_t px = 0; px < n; ++px) {
+      Gaussian* mix =
+          &mixtures_[px * static_cast<std::size_t>(params_.num_gaussians)];
+      mix[0] = Gaussian{1.0f, static_cast<float>(src[px]),
+                        static_cast<float>(params_.initial_variance)};
+    }
+  } else {
+    for (std::size_t px = 0; px < n; ++px)
+      dst[px] = process_pixel(px, static_cast<double>(src[px])) ? 255 : 0;
+  }
+  ++frames_seen_;
+  return fg;
+}
+
+}  // namespace tangram::vision

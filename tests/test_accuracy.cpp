@@ -1,0 +1,101 @@
+#include "experiments/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace tangram::experiments {
+namespace {
+
+class AccuracyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceConfig config;
+    config.raster.analysis = {240, 135};
+    video::SceneSpec spec = video::test_scene(41);
+    spec.base_population = 25;
+    spec.total_frames = 30;
+    spec.training_frames = 10;
+    trace_ = new SceneTrace(build_trace(spec, config));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static SceneTrace* trace_;
+};
+
+SceneTrace* AccuracyTest::trace_ = nullptr;
+
+TEST_F(AccuracyTest, ApsAreProperFractions) {
+  const AccuracyConfig config;
+  for (const double ap :
+       {full_frame_ap(*trace_, config), partitioned_ap(*trace_, config),
+        roi_only_ap(*trace_, config), server_driven_ap(*trace_, 0.25, config),
+        content_aware_ap(*trace_, config)}) {
+    EXPECT_GE(ap, 0.0);
+    EXPECT_LE(ap, 1.0);
+  }
+}
+
+TEST_F(AccuracyTest, FullFrameBeatsRestrictedViews) {
+  const AccuracyConfig config;
+  const double full = full_frame_ap(*trace_, config);
+  EXPECT_GT(full, 0.3);  // sanity: the detector actually works
+  // Restricting inference to RoIs / two-round regions can only lose
+  // objects (allow small stochastic jitter).
+  EXPECT_LE(roi_only_ap(*trace_, config), full + 0.08);
+  EXPECT_LE(server_driven_ap(*trace_, 0.25, config), full + 0.08);
+}
+
+TEST_F(AccuracyTest, PartitioningRecoversRoiMisses) {
+  // Table IV's core claim: the adaptive partitioner recovers objects the
+  // raw extractor missed.
+  const AccuracyConfig config;
+  EXPECT_GE(partitioned_ap(*trace_, config),
+            roi_only_ap(*trace_, config) - 0.05);
+}
+
+TEST_F(AccuracyTest, DownsizingHurtsThe4kModel) {
+  AccuracyConfig native;
+  AccuracyConfig downsized;
+  downsized.scale = 0.22;
+  EXPECT_GT(full_frame_ap(*trace_, native),
+            full_frame_ap(*trace_, downsized));
+}
+
+TEST_F(AccuracyTest, ModelProfilesBehaveAsInFig4b) {
+  // 480p-trained model: best near its training scale, worse at the capture
+  // resolution (the test scene is 1080p, so its training point is at scale
+  // 480/1080).
+  AccuracyConfig lo_at_native;
+  lo_at_native.profile = vision::yolov8x_480p_profile();
+  AccuracyConfig lo_at_480;
+  lo_at_480.profile = vision::yolov8x_480p_profile();
+  lo_at_480.scale = 480.0 / trace_->spec.frame.height;
+  EXPECT_GT(full_frame_ap(*trace_, lo_at_480),
+            full_frame_ap(*trace_, lo_at_native));
+}
+
+TEST_F(AccuracyTest, StitchingPreservesPartitionedAccuracy) {
+  // The paper's central accuracy claim: inference on stitched canvases
+  // (with the inverse mapping back to frame coordinates) tracks direct
+  // per-patch inference — stitching neither resizes nor pads.
+  const AccuracyConfig config;
+  const double direct = partitioned_ap(*trace_, config);
+  const double stitched = stitched_canvas_ap(*trace_, {1024, 1024}, config);
+  EXPECT_NEAR(stitched, direct, 0.10);
+  EXPECT_GT(stitched, 0.3);
+}
+
+TEST_F(AccuracyTest, DeterministicForFixedSeed) {
+  const AccuracyConfig config;
+  EXPECT_DOUBLE_EQ(full_frame_ap(*trace_, config),
+                   full_frame_ap(*trace_, config));
+  AccuracyConfig other = config;
+  other.seed = config.seed + 1;
+  // Different seed gives a (usually) different stochastic detection run.
+  // Not asserting inequality strictly — just that both are valid.
+  EXPECT_GE(full_frame_ap(*trace_, other), 0.0);
+}
+
+}  // namespace
+}  // namespace tangram::experiments

@@ -1,0 +1,104 @@
+#include "core/canvas_render.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tangram::core {
+namespace {
+
+// A rasterizer over a 1024x1024 native frame at 1:4 analysis scale.
+struct World {
+  common::Size native{1024, 1024};
+  video::RasterConfig raster_config;
+  video::FrameRasterizer rasterizer;
+  video::Image frame;
+
+  World()
+      : raster_config{[] {
+          video::RasterConfig r;
+          r.analysis = {256, 256};
+          r.noise_sigma = 0.0;
+          return r;
+        }()},
+        rasterizer(native, raster_config),
+        frame(256, 256, 0) {
+    // Distinctive content: intensity encodes position.
+    for (int y = 0; y < 256; ++y)
+      for (int x = 0; x < 256; ++x)
+        frame.at(x, y) = static_cast<std::uint8_t>((x + y) / 2);
+  }
+};
+
+PackedCanvas one_patch_canvas() {
+  PackedCanvas canvas;
+  Patch p;
+  p.region = {256, 512, 256, 128};  // native coords
+  canvas.patches.push_back(p);
+  canvas.positions.push_back({64, 32});  // native canvas coords
+  return canvas;
+}
+
+TEST(CanvasRender, CopiesPatchPixelsToPlacement) {
+  World world;
+  const auto canvas = one_patch_canvas();
+  const video::Image out = render_canvas(canvas, {512, 512}, world.frame,
+                                         world.rasterizer, /*background=*/7);
+  // Output is the canvas at analysis scale: 512 * 0.25 = 128.
+  EXPECT_EQ(out.width(), 128);
+  EXPECT_EQ(out.height(), 128);
+  // The patch spans analysis src (64,128,64x32) -> dst offset (16, 8).
+  // Check one interior pixel: out(20, 10) = frame(64+4, 128+2).
+  EXPECT_EQ(out.at(20, 10), world.frame.at(68, 130));
+  // Background elsewhere.
+  EXPECT_EQ(out.at(100, 100), 7);
+}
+
+TEST(CanvasRender, TwoPatchesDoNotBleed) {
+  World world;
+  PackedCanvas canvas = one_patch_canvas();
+  Patch q;
+  q.region = {0, 0, 128, 128};
+  canvas.patches.push_back(q);
+  canvas.positions.push_back({512, 512});
+  const video::Image out = render_canvas(canvas, {1024, 1024}, world.frame,
+                                         world.rasterizer);
+  // Second patch at analysis dst (128,128) size 32x32: pixel maps to frame
+  // origin region.
+  EXPECT_EQ(out.at(129, 129), world.frame.at(1, 1));
+  // A pixel between the two placements is background.
+  EXPECT_EQ(out.at(110, 110), 16);
+}
+
+TEST(CanvasRender, WritesValidPgm) {
+  video::Image img(8, 4, 0);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 8; ++x)
+      img.at(x, y) = static_cast<std::uint8_t>(x * 10 + y);
+  const std::string path = "/tmp/tangram_test_canvas.pgm";
+  ASSERT_TRUE(write_pgm(img, path));
+
+  std::ifstream file(path, std::ios::binary);
+  std::string magic, dims;
+  std::getline(file, magic);
+  EXPECT_EQ(magic, "P5");
+  std::getline(file, dims);
+  EXPECT_EQ(dims, "8 4");
+  std::string depth;
+  std::getline(file, depth);
+  EXPECT_EQ(depth, "255");
+  std::vector<char> data(32);
+  file.read(data.data(), 32);
+  EXPECT_EQ(file.gcount(), 32);
+  EXPECT_EQ(static_cast<std::uint8_t>(data[9]), img.at(1, 1));
+  std::remove(path.c_str());
+}
+
+TEST(CanvasRender, FailsOnBadPath) {
+  video::Image img(4, 4, 0);
+  EXPECT_FALSE(write_pgm(img, "/nonexistent_dir_xyz/file.pgm"));
+}
+
+}  // namespace
+}  // namespace tangram::core

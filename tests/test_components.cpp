@@ -1,0 +1,109 @@
+#include "vision/components.h"
+
+#include <gtest/gtest.h>
+
+namespace tangram::vision {
+namespace {
+
+video::Mask make_mask(int w, int h) { return video::Mask(w, h, 0); }
+
+TEST(Dilate, GrowsSinglePixel) {
+  video::Mask m = make_mask(9, 9);
+  m.at(4, 4) = 255;
+  const video::Mask d = dilate(m, 1);
+  for (int y = 3; y <= 5; ++y)
+    for (int x = 3; x <= 5; ++x) EXPECT_NE(d.at(x, y), 0);
+  EXPECT_EQ(d.at(1, 1), 0);
+}
+
+TEST(Dilate, RadiusZeroIsIdentity) {
+  video::Mask m = make_mask(5, 5);
+  m.at(2, 2) = 255;
+  const video::Mask d = dilate(m, 0);
+  EXPECT_EQ(d.at(2, 2), 255);
+  EXPECT_EQ(d.at(1, 2), 0);
+}
+
+TEST(Dilate, ClampsAtBorders) {
+  video::Mask m = make_mask(5, 5);
+  m.at(0, 0) = 255;
+  const video::Mask d = dilate(m, 2);
+  EXPECT_NE(d.at(0, 0), 0);
+  EXPECT_NE(d.at(2, 2), 0);
+  EXPECT_EQ(d.at(4, 4), 0);
+}
+
+TEST(ConnectedComponents, SingleBlob) {
+  video::Mask m = make_mask(20, 20);
+  m.fill_rect({5, 5, 4, 3}, 255);
+  const auto comps = connected_components(m, 1);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].box, (common::Rect{5, 5, 4, 3}));
+  EXPECT_EQ(comps[0].area_px, 12);
+}
+
+TEST(ConnectedComponents, TwoSeparateBlobs) {
+  video::Mask m = make_mask(20, 20);
+  m.fill_rect({1, 1, 3, 3}, 255);
+  m.fill_rect({10, 10, 2, 2}, 255);
+  const auto comps = connected_components(m, 1);
+  EXPECT_EQ(comps.size(), 2u);
+}
+
+TEST(ConnectedComponents, DiagonalPixelsAreSeparate) {
+  // 4-connectivity: diagonal touching does not merge.
+  video::Mask m = make_mask(10, 10);
+  m.at(3, 3) = 255;
+  m.at(4, 4) = 255;
+  EXPECT_EQ(connected_components(m, 1).size(), 2u);
+}
+
+TEST(ConnectedComponents, MinAreaFiltersSpecks) {
+  video::Mask m = make_mask(20, 20);
+  m.at(2, 2) = 255;                    // 1 px speck
+  m.fill_rect({10, 10, 3, 3}, 255);    // 9 px blob
+  const auto comps = connected_components(m, 4);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].area_px, 9);
+}
+
+TEST(ConnectedComponents, LShapedBlobBoundingBox) {
+  video::Mask m = make_mask(20, 20);
+  m.fill_rect({2, 2, 6, 2}, 255);
+  m.fill_rect({2, 4, 2, 6}, 255);
+  const auto comps = connected_components(m, 1);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].box, (common::Rect{2, 2, 6, 8}));
+  EXPECT_EQ(comps[0].area_px, 12 + 12);
+}
+
+TEST(ExtractBlobs, MergesNearbyBoxes) {
+  video::Mask m = make_mask(40, 40);
+  m.fill_rect({5, 5, 4, 4}, 255);
+  m.fill_rect({12, 5, 4, 4}, 255);  // gap of 3 after dilation by 1 -> 1
+  ComponentParams params;
+  params.dilate_radius = 1;
+  params.min_area_px = 1;
+  params.merge_gap_px = 3;
+  const auto boxes = extract_blobs(m, params);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_TRUE(boxes[0].contains(common::Rect{5, 5, 4, 4}));
+  EXPECT_TRUE(boxes[0].contains(common::Rect{12, 5, 4, 4}));
+}
+
+TEST(ExtractBlobs, KeepsDistantBoxesApart) {
+  video::Mask m = make_mask(60, 60);
+  m.fill_rect({5, 5, 4, 4}, 255);
+  m.fill_rect({40, 40, 4, 4}, 255);
+  ComponentParams params;
+  const auto boxes = extract_blobs(m, params);
+  EXPECT_EQ(boxes.size(), 2u);
+}
+
+TEST(ExtractBlobs, EmptyMaskYieldsNothing) {
+  const auto boxes = extract_blobs(make_mask(30, 30), ComponentParams{});
+  EXPECT_TRUE(boxes.empty());
+}
+
+}  // namespace
+}  // namespace tangram::vision

@@ -1,0 +1,110 @@
+#include "core/edge.h"
+
+#include <gtest/gtest.h>
+
+#include "video/scene_catalog.h"
+
+namespace tangram::core {
+namespace {
+
+EdgeCamera::Config small_config() {
+  EdgeCamera::Config c;
+  c.camera_id = 7;
+  c.slo_s = 0.8;
+  c.seed = 5;
+  return c;
+}
+
+video::RasterConfig small_raster() {
+  video::RasterConfig r;
+  r.analysis = {240, 135};
+  return r;
+}
+
+TEST(EdgeCamera, EmitsPatchesWithMetadata) {
+  const auto spec = video::test_scene(81);
+  EdgeCamera edge(spec.frame, small_config(), small_raster());
+  video::SyntheticScene scene(spec);
+
+  std::size_t total = 0;
+  for (int i = 0; i < 25; ++i) {
+    const auto truth = scene.next_frame();
+    for (const auto& patch : edge.on_frame(truth)) {
+      ++total;
+      EXPECT_EQ(patch.camera_id, 7);
+      EXPECT_EQ(patch.frame_index, truth.frame_index);
+      EXPECT_DOUBLE_EQ(patch.generation_time, truth.timestamp);
+      EXPECT_DOUBLE_EQ(patch.slo, 0.8);
+      EXPECT_GT(patch.bytes, 0u);
+      EXPECT_LE(patch.region.width, 1024);
+      EXPECT_LE(patch.region.height, 1024);
+      EXPECT_TRUE((common::Rect{0, 0, spec.frame.width, spec.frame.height})
+                      .contains(patch.region));
+    }
+  }
+  EXPECT_GT(total, 10u);  // GMM warms up and produces work
+  EXPECT_EQ(edge.frames_processed(), 25u);
+  EXPECT_EQ(edge.patches_emitted(), total);
+}
+
+TEST(EdgeCamera, PatchIdsAreUniqueAndMonotone) {
+  const auto spec = video::test_scene(83);
+  EdgeCamera edge(spec.frame, small_config(), small_raster());
+  video::SyntheticScene scene(spec);
+  std::uint64_t last = 0;
+  bool first = true;
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& patch : edge.on_frame(scene.next_frame())) {
+      if (!first) EXPECT_GT(patch.id, last);
+      last = patch.id;
+      first = false;
+    }
+  }
+}
+
+TEST(EdgeCamera, BytesAccumulate) {
+  const auto spec = video::test_scene(85);
+  EdgeCamera edge(spec.frame, small_config(), small_raster());
+  video::SyntheticScene scene(spec);
+  std::size_t sum = 0;
+  for (int i = 0; i < 20; ++i)
+    for (const auto& patch : edge.on_frame(scene.next_frame()))
+      sum += patch.bytes;
+  EXPECT_EQ(edge.bytes_emitted(), sum);
+}
+
+TEST(EdgeCamera, GroundTruthExtractorNeedsNoPixels) {
+  auto config = small_config();
+  config.extractor = "Yolov3-MobileNetV2";
+  const auto spec = video::test_scene(87);
+  EdgeCamera edge(spec.frame, config, small_raster());
+  video::SyntheticScene scene(spec);
+  std::size_t total = 0;
+  for (int i = 0; i < 10; ++i)
+    total += edge.on_frame(scene.next_frame(), nullptr).size();
+  EXPECT_GT(total, 0u);
+}
+
+TEST(EdgeCamera, SmallCanvasForcesTiling) {
+  auto config = small_config();
+  config.canvas = {256, 256};
+  const auto spec = video::test_scene(89);
+  EdgeCamera edge(spec.frame, config, small_raster());
+  video::SyntheticScene scene(spec);
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& patch : edge.on_frame(scene.next_frame())) {
+      EXPECT_LE(patch.region.width, 256);
+      EXPECT_LE(patch.region.height, 256);
+    }
+  }
+}
+
+TEST(EdgeCamera, RejectsUnknownExtractor) {
+  auto config = small_config();
+  config.extractor = "nonsense";
+  EXPECT_THROW(EdgeCamera({1920, 1080}, config, small_raster()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tangram::core

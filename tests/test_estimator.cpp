@@ -1,0 +1,117 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace tangram::core {
+namespace {
+
+serverless::InferenceLatencyModel make_model(double jitter = 0.05) {
+  serverless::LatencyModelParams params;
+  params.jitter_sigma = jitter;
+  return serverless::InferenceLatencyModel(params, common::Rng(3, 9));
+}
+
+LatencyEstimator::Config quick_config(int batches = 8, double k = 3.0) {
+  LatencyEstimator::Config c;
+  c.max_profiled_batch = batches;
+  c.iterations = 400;
+  c.sigma_multiplier = k;
+  return c;
+}
+
+TEST(Estimator, MeanTracksModel) {
+  auto model = make_model();
+  const LatencyEstimator est(model, {1024, 1024}, quick_config());
+  for (int b = 1; b <= 8; ++b) {
+    const double expected = model.mean_batch_latency(b, {1024, 1024});
+    // Lognormal jitter with sigma 0.05 has mean exp(sigma^2/2) ~ 1.00125.
+    EXPECT_NEAR(est.mean(b), expected, expected * 0.02) << "batch " << b;
+  }
+}
+
+TEST(Estimator, SlackIsMuPlusKSigma) {
+  const LatencyEstimator est(make_model(), {1024, 1024}, quick_config(8, 3.0));
+  for (int b = 1; b <= 8; ++b)
+    EXPECT_NEAR(est.slack(b), est.mean(b) + 3.0 * est.stddev(b), 1e-12);
+}
+
+TEST(Estimator, SlackExceedsMostSamples) {
+  // The conservative estimate must cover ~99.7% of draws (Eqn. 9's goal).
+  auto model = make_model();
+  const LatencyEstimator est(model, {1024, 1024}, quick_config());
+  auto sampling_model = make_model();  // same distribution, fresh stream
+  int covered = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i)
+    if (sampling_model.sample_batch_latency(4, {1024, 1024}) <= est.slack(4))
+      ++covered;
+  EXPECT_GT(covered, kTrials * 98 / 100);
+}
+
+TEST(Estimator, MeanMonotoneInBatchSize) {
+  const LatencyEstimator est(make_model(), {1024, 1024}, quick_config(12));
+  for (int b = 2; b <= 12; ++b) EXPECT_GT(est.mean(b), est.mean(b - 1));
+}
+
+TEST(Estimator, ExtrapolatesBeyondProfiledRange) {
+  const LatencyEstimator est(make_model(), {1024, 1024}, quick_config(4));
+  const double m4 = est.mean(4);
+  const double m6 = est.mean(6);
+  EXPECT_GT(m6, m4);
+  // Linear extrapolation: equal increments.
+  EXPECT_NEAR(est.mean(8) - est.mean(6), est.mean(6) - est.mean(4), 1e-9);
+  EXPECT_GE(est.slack(20), est.mean(20));
+}
+
+TEST(Estimator, LargerSigmaMultiplierMoreConservative) {
+  auto model = make_model();
+  const LatencyEstimator k1(model, {1024, 1024}, quick_config(4, 1.0));
+  const LatencyEstimator k5(model, {1024, 1024}, quick_config(4, 5.0));
+  for (int b = 1; b <= 4; ++b) EXPECT_GT(k5.slack(b), k1.slack(b));
+}
+
+TEST(Estimator, CanvasAreaScalesEstimate) {
+  auto model = make_model();
+  const LatencyEstimator small(model, {512, 512}, quick_config(4));
+  const LatencyEstimator large(model, {1024, 1024}, quick_config(4));
+  EXPECT_GT(large.mean(2), small.mean(2));
+}
+
+TEST(Estimator, RejectsBadArguments) {
+  auto model = make_model();
+  LatencyEstimator::Config bad;
+  bad.max_profiled_batch = 0;
+  EXPECT_THROW(LatencyEstimator(model, {1024, 1024}, bad),
+               std::invalid_argument);
+  bad = LatencyEstimator::Config{};
+  bad.iterations = 1;
+  EXPECT_THROW(LatencyEstimator(model, {1024, 1024}, bad),
+               std::invalid_argument);
+  const LatencyEstimator est(model, {1024, 1024}, quick_config(4));
+  EXPECT_THROW((void)est.slack(0), std::invalid_argument);
+  EXPECT_THROW((void)est.mean(-1), std::invalid_argument);
+}
+
+TEST(LatencyModel, BatchSublinearInSize) {
+  auto model = make_model(0.0);
+  const double t1 = model.mean_batch_latency(1, {1024, 1024});
+  const double t8 = model.mean_batch_latency(8, {1024, 1024});
+  EXPECT_GT(t8, t1);
+  EXPECT_LT(t8, 8.0 * t1);  // batching amortizes
+}
+
+TEST(LatencyModel, MaskedDiscountApplies) {
+  auto model = make_model(0.0);
+  EXPECT_LT(model.mean_image_latency(8.3, true),
+            model.mean_image_latency(8.3, false));
+}
+
+TEST(LatencyModel, RejectsBadInput) {
+  auto model = make_model();
+  EXPECT_THROW((void)model.mean_batch_latency(0, {1024, 1024}),
+               std::invalid_argument);
+  EXPECT_THROW((void)model.mean_image_latency(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tangram::core

@@ -1,0 +1,124 @@
+// Failure-injection tests: stragglers, cold-start spikes, and transient
+// retried failures in the serverless platform, plus the end-to-end
+// consequence — Tangram's conservative slack absorbing moderate straggling.
+
+#include <gtest/gtest.h>
+
+#include "experiments/harness.h"
+#include "serverless/platform.h"
+
+namespace tangram::serverless {
+namespace {
+
+LatencyModelParams deterministic_latency() {
+  LatencyModelParams p;
+  p.jitter_sigma = 0.0;
+  return p;
+}
+
+TEST(Faults, StragglersSlowSomeInvocations) {
+  sim::Simulator sim;
+  PlatformConfig config;
+  config.cold_start_s = 0.0;
+  config.faults.straggler_probability = 0.5;
+  config.faults.straggler_factor = 4.0;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  std::vector<double> exec;
+  for (int i = 0; i < 200; ++i)
+    platform.invoke(spec, [&](const InvocationRecord& r) {
+      exec.push_back(r.execution_s);
+      EXPECT_EQ(r.straggler, r.execution_s > 0.2);
+    });
+  sim.run();
+  ASSERT_EQ(exec.size(), 200u);
+  EXPECT_GT(platform.stragglers(), 60u);
+  EXPECT_LT(platform.stragglers(), 140u);
+  const double base = deterministic_latency().overhead_s +
+                      deterministic_latency().per_canvas_s;
+  int slow = 0;
+  for (const double e : exec)
+    if (e > base * 3.0) ++slow;
+  EXPECT_EQ(slow, static_cast<int>(platform.stragglers()));
+}
+
+TEST(Faults, RetriesBillBothAttempts) {
+  sim::Simulator sim;
+  PlatformConfig config;
+  config.cold_start_s = 0.0;
+  config.faults.failure_probability = 1.0;  // every invocation retried
+  config.faults.retry_delay_s = 0.1;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  InvocationRecord record;
+  platform.invoke(spec, [&](const InvocationRecord& r) { record = r; });
+  sim.run();
+  EXPECT_EQ(record.attempts, 2);
+  const double base = deterministic_latency().overhead_s +
+                      deterministic_latency().per_canvas_s;
+  EXPECT_NEAR(record.execution_s, 2 * base + 0.1, 1e-9);
+  EXPECT_NEAR(platform.total_cost(),
+              invocation_cost(record.execution_s, config.resources), 1e-12);
+}
+
+TEST(Faults, ColdSpikeDelaysFirstStart) {
+  sim::Simulator sim;
+  PlatformConfig config;
+  config.cold_start_s = 0.2;
+  config.faults.cold_spike_probability = 1.0;
+  config.faults.cold_spike_factor = 10.0;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  InvocationRecord record;
+  platform.invoke(spec, [&](const InvocationRecord& r) { record = r; });
+  sim.run();
+  EXPECT_NEAR(record.start_time, 2.0, 1e-9);  // 0.2 * 10
+}
+
+TEST(Faults, DisabledByDefault) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, PlatformConfig{}, deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  for (int i = 0; i < 50; ++i) platform.invoke(spec, nullptr);
+  sim.run();
+  EXPECT_EQ(platform.stragglers(), 0u);
+  EXPECT_EQ(platform.retries(), 0u);
+}
+
+TEST(Faults, TangramAbsorbsModerateStragglingWithinSlack) {
+  experiments::TraceConfig trace_config;
+  trace_config.raster.analysis = {240, 135};
+  video::SceneSpec spec = video::test_scene(71);
+  spec.base_population = 30;
+  spec.total_frames = 50;
+  spec.training_frames = 10;
+  const auto trace = experiments::build_trace(spec, trace_config);
+
+  experiments::EndToEndConfig config;
+  config.bandwidth_mbps = 40.0;
+  config.slo_s = 1.2;
+  config.platform.faults.straggler_probability = 0.05;
+  config.platform.faults.straggler_factor = 2.0;
+  const auto faulty = experiments::run_end_to_end(
+      {&trace}, experiments::StrategyKind::kTangram, config);
+  // 5% of batches run 2x slow; mu+3sigma slack still keeps violations low.
+  EXPECT_LT(faulty.violation_rate(), 0.12);
+
+  // Heavy straggling must visibly raise violations (sanity of the fault
+  // path end to end).
+  config.platform.faults.straggler_probability = 0.6;
+  config.platform.faults.straggler_factor = 6.0;
+  const auto broken = experiments::run_end_to_end(
+      {&trace}, experiments::StrategyKind::kTangram, config);
+  EXPECT_GT(broken.violation_rate(), faulty.violation_rate());
+}
+
+}  // namespace
+}  // namespace tangram::serverless

@@ -1,0 +1,87 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace tangram::common {
+namespace {
+
+TEST(Rect, AreaAndEmptiness) {
+  EXPECT_EQ(Rect(0, 0, 10, 5).area(), 50);
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_FALSE(Rect(0, 0, 1, 1).empty());
+  EXPECT_TRUE(Rect(3, 4, 0, 7).empty());
+}
+
+TEST(Rect, CornersAndContains) {
+  const Rect r(10, 20, 30, 40);
+  EXPECT_EQ(r.right(), 40);
+  EXPECT_EQ(r.bottom(), 60);
+  EXPECT_TRUE(r.contains(Point{10, 20}));
+  EXPECT_FALSE(r.contains(Point{40, 20}));  // right edge is exclusive
+  EXPECT_TRUE(r.contains(Rect(15, 25, 5, 5)));
+  EXPECT_FALSE(r.contains(Rect(35, 55, 10, 10)));
+}
+
+TEST(Rect, FromCorners) {
+  const Rect r = Rect::from_corners(2, 3, 10, 9);
+  EXPECT_EQ(r, Rect(2, 3, 8, 6));
+}
+
+TEST(Intersect, OverlappingAndDisjoint) {
+  EXPECT_EQ(intersect(Rect(0, 0, 10, 10), Rect(5, 5, 10, 10)),
+            Rect(5, 5, 5, 5));
+  EXPECT_TRUE(intersect(Rect(0, 0, 4, 4), Rect(4, 0, 4, 4)).empty());
+  EXPECT_TRUE(intersect(Rect(0, 0, 4, 4), Rect(10, 10, 4, 4)).empty());
+}
+
+TEST(Intersect, ContainedRect) {
+  const Rect outer(0, 0, 100, 100), inner(10, 10, 5, 5);
+  EXPECT_EQ(intersect(outer, inner), inner);
+}
+
+TEST(BoundingUnion, BasicAndIdentity) {
+  EXPECT_EQ(bounding_union(Rect(0, 0, 2, 2), Rect(8, 8, 2, 2)),
+            Rect(0, 0, 10, 10));
+  EXPECT_EQ(bounding_union(Rect{}, Rect(3, 3, 4, 4)), Rect(3, 3, 4, 4));
+  EXPECT_EQ(bounding_union(Rect(3, 3, 4, 4), Rect{}), Rect(3, 3, 4, 4));
+}
+
+TEST(Iou, KnownValues) {
+  EXPECT_DOUBLE_EQ(iou(Rect(0, 0, 10, 10), Rect(0, 0, 10, 10)), 1.0);
+  EXPECT_DOUBLE_EQ(iou(Rect(0, 0, 10, 10), Rect(10, 0, 10, 10)), 0.0);
+  // Overlap 25, union 175.
+  EXPECT_NEAR(iou(Rect(0, 0, 10, 10), Rect(5, 5, 10, 10)), 25.0 / 175.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(iou(Rect{}, Rect{}), 0.0);
+}
+
+TEST(ClampTo, ClipsToBounds) {
+  const Rect bounds(0, 0, 100, 50);
+  EXPECT_EQ(clamp_to(Rect(-10, -10, 30, 30), bounds), Rect(0, 0, 20, 20));
+  EXPECT_EQ(clamp_to(Rect(90, 40, 30, 30), bounds), Rect(90, 40, 10, 10));
+  EXPECT_TRUE(clamp_to(Rect(200, 200, 5, 5), bounds).empty());
+}
+
+TEST(Inflate, GrowsAndClamps) {
+  const Rect bounds(0, 0, 100, 100);
+  EXPECT_EQ(inflate(Rect(10, 10, 10, 10), 5, bounds), Rect(5, 5, 20, 20));
+  EXPECT_EQ(inflate(Rect(0, 0, 10, 10), 5, bounds), Rect(0, 0, 15, 15));
+}
+
+TEST(ScaleRect, RoundsOutward) {
+  // Scaling down by 2: [3,3,5x5] covers [1.5,1.5]-[4,4] -> [1,1]-[4,4].
+  const Rect r = scale_rect(Rect(3, 3, 5, 5), 0.5, 0.5);
+  EXPECT_EQ(r, Rect::from_corners(1, 1, 4, 4));
+  // Scaling back up never under-covers.
+  const Rect up = scale_rect(r, 2.0, 2.0);
+  EXPECT_TRUE(up.contains(Rect(3, 3, 5, 5)));
+}
+
+TEST(OverlapArea, MatchesIntersection) {
+  EXPECT_EQ(overlap_area(Rect(0, 0, 10, 10), Rect(5, 5, 10, 10)), 25);
+  EXPECT_TRUE(overlaps(Rect(0, 0, 10, 10), Rect(9, 9, 2, 2)));
+  EXPECT_FALSE(overlaps(Rect(0, 0, 10, 10), Rect(10, 10, 2, 2)));
+}
+
+}  // namespace
+}  // namespace tangram::common

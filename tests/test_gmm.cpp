@@ -1,0 +1,119 @@
+#include "vision/gmm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tangram::vision {
+namespace {
+
+// Render a noisy flat background with an optional bright square.
+video::Image make_frame(common::Rng& rng, bool with_object, int ox = 20,
+                        int oy = 20) {
+  video::Image img(64, 48, 0);
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      img.at(x, y) = static_cast<std::uint8_t>(
+          std::clamp(120.0 + rng.normal(0.0, 2.0), 0.0, 255.0));
+  if (with_object) img.fill_rect({ox, oy, 8, 8}, 200);
+  return img;
+}
+
+TEST(Gmm, FirstFrameHasNoForeground) {
+  common::Rng rng(1);
+  GmmBackgroundSubtractor gmm({64, 48});
+  const video::Mask fg = gmm.apply(make_frame(rng, true));
+  for (int y = 0; y < fg.height(); ++y)
+    for (int x = 0; x < fg.width(); ++x) EXPECT_EQ(fg.at(x, y), 0);
+}
+
+TEST(Gmm, StaticBackgroundStaysQuiet) {
+  common::Rng rng(2);
+  GmmBackgroundSubtractor gmm({64, 48});
+  for (int i = 0; i < 30; ++i) (void)gmm.apply(make_frame(rng, false));
+  const video::Mask fg = gmm.apply(make_frame(rng, false));
+  int fg_pixels = 0;
+  for (int y = 0; y < fg.height(); ++y)
+    for (int x = 0; x < fg.width(); ++x) fg_pixels += fg.at(x, y) ? 1 : 0;
+  EXPECT_LT(fg_pixels, static_cast<int>(fg.pixel_count() / 100));
+}
+
+TEST(Gmm, NewObjectIsForeground) {
+  common::Rng rng(3);
+  GmmBackgroundSubtractor gmm({64, 48});
+  for (int i = 0; i < 30; ++i) (void)gmm.apply(make_frame(rng, false));
+  const video::Mask fg = gmm.apply(make_frame(rng, true));
+  int hits = 0;
+  for (int y = 20; y < 28; ++y)
+    for (int x = 20; x < 28; ++x) hits += fg.at(x, y) ? 1 : 0;
+  EXPECT_GT(hits, 48);  // at least 75% of the object's 64 pixels
+}
+
+TEST(Gmm, MovingObjectTrackedAcrossFrames) {
+  common::Rng rng(4);
+  GmmBackgroundSubtractor gmm({64, 48});
+  for (int i = 0; i < 30; ++i) (void)gmm.apply(make_frame(rng, false));
+  for (int step = 0; step < 5; ++step) {
+    const int ox = 10 + step * 6;
+    const video::Mask fg = gmm.apply(make_frame(rng, true, ox, 16));
+    int hits = 0;
+    for (int y = 16; y < 24; ++y)
+      for (int x = ox; x < ox + 8; ++x) hits += fg.at(x, y) ? 1 : 0;
+    EXPECT_GT(hits, 32) << "step " << step;
+  }
+}
+
+TEST(Gmm, StationaryObjectAbsorbedIntoBackground) {
+  common::Rng rng(5);
+  GmmParams params;
+  params.learning_rate = 0.05;
+  GmmBackgroundSubtractor gmm({64, 48}, params);
+  for (int i = 0; i < 30; ++i) (void)gmm.apply(make_frame(rng, false));
+  // Object appears and never moves; within ~3/alpha frames it must fade.
+  int last_hits = 0;
+  for (int i = 0; i < 80; ++i) {
+    const video::Mask fg = gmm.apply(make_frame(rng, true));
+    last_hits = 0;
+    for (int y = 20; y < 28; ++y)
+      for (int x = 20; x < 28; ++x) last_hits += fg.at(x, y) ? 1 : 0;
+  }
+  EXPECT_LT(last_hits, 8);
+}
+
+TEST(Gmm, IlluminationDriftTolerated) {
+  common::Rng rng(6);
+  GmmBackgroundSubtractor gmm({64, 48});
+  for (int i = 0; i < 30; ++i) (void)gmm.apply(make_frame(rng, false));
+  // Shift the whole background slowly by 6 levels over 30 frames.
+  int total_fg = 0;
+  for (int i = 0; i < 30; ++i) {
+    video::Image img = make_frame(rng, false);
+    for (std::size_t p = 0; p < img.pixel_count(); ++p)
+      img.data()[p] = static_cast<std::uint8_t>(
+          std::min(255, img.data()[p] + i / 5));
+    const video::Mask fg = gmm.apply(img);
+    for (std::size_t p = 0; p < fg.pixel_count(); ++p)
+      total_fg += fg.data()[p] ? 1 : 0;
+  }
+  EXPECT_LT(total_fg, static_cast<int>(30 * 64 * 48 / 50));
+}
+
+TEST(Gmm, RejectsMismatchedFrameSize) {
+  GmmBackgroundSubtractor gmm({64, 48});
+  video::Image wrong(32, 32);
+  EXPECT_THROW((void)gmm.apply(wrong), std::invalid_argument);
+}
+
+TEST(Gmm, RejectsBadParams) {
+  GmmParams params;
+  params.num_gaussians = 0;
+  EXPECT_THROW(GmmBackgroundSubtractor({64, 48}, params),
+               std::invalid_argument);
+  params.num_gaussians = 9;
+  EXPECT_THROW(GmmBackgroundSubtractor({64, 48}, params),
+               std::invalid_argument);
+  EXPECT_THROW(GmmBackgroundSubtractor({0, 48}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tangram::vision

@@ -1,0 +1,159 @@
+#include "experiments/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace tangram::experiments {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceConfig config;
+    config.raster.analysis = {240, 135};
+    trace_ = new SceneTrace(build_trace(video::test_scene(31), config));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static EndToEndConfig quick_config() {
+    EndToEndConfig c;
+    c.bandwidth_mbps = 40.0;
+    c.slo_s = 1.5;
+    return c;
+  }
+
+  static std::size_t total_patches() {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < trace_->eval_frame_count(); ++i)
+      n += trace_->eval_frame(i).patches.size();
+    return n;
+  }
+
+  static SceneTrace* trace_;
+};
+
+SceneTrace* HarnessTest::trace_ = nullptr;
+
+TEST_F(HarnessTest, TangramCompletesEveryPatch) {
+  const auto result = run_end_to_end({trace_}, StrategyKind::kTangram,
+                                     quick_config());
+  EXPECT_EQ(result.completed_items, total_patches());
+  EXPECT_GT(result.total_cost, 0.0);
+  EXPECT_GT(result.invocations, 0u);
+  EXPECT_GT(result.canvas_efficiency.count(), 0u);
+  EXPECT_LE(result.violation_rate(), 1.0);
+}
+
+TEST_F(HarnessTest, EveryPatchStrategyCompletesTheStream) {
+  for (const auto kind : {StrategyKind::kElf, StrategyKind::kClipper,
+                          StrategyKind::kMArk}) {
+    const auto result = run_end_to_end({trace_}, kind, quick_config());
+    EXPECT_EQ(result.completed_items, total_patches())
+        << to_string(kind);
+    EXPECT_GT(result.total_cost, 0.0) << to_string(kind);
+  }
+}
+
+TEST_F(HarnessTest, FrameStrategiesCompletePerFrame) {
+  for (const auto kind :
+       {StrategyKind::kFullFrame, StrategyKind::kMaskedFrame}) {
+    const auto result = run_end_to_end({trace_}, kind, quick_config());
+    EXPECT_EQ(result.completed_items, trace_->eval_frame_count())
+        << to_string(kind);
+  }
+}
+
+TEST_F(HarnessTest, LatenciesAtLeastTransmissionBound) {
+  const auto result =
+      run_end_to_end({trace_}, StrategyKind::kTangram, quick_config());
+  // Every end-to-end latency includes edge latency and some execution.
+  EXPECT_GT(result.e2e_latency.stats().min(), quick_config().edge_latency_s);
+}
+
+TEST_F(HarnessTest, MultipleCamerasScaleBytes) {
+  const auto one =
+      run_end_to_end({trace_}, StrategyKind::kTangram, quick_config());
+  const auto two = run_end_to_end({trace_, trace_}, StrategyKind::kTangram,
+                                  quick_config());
+  EXPECT_EQ(two.total_bytes, 2 * one.total_bytes);
+  EXPECT_EQ(two.completed_items, 2 * one.completed_items);
+}
+
+TEST_F(HarnessTest, TighterSloRaisesCostOrViolations) {
+  EndToEndConfig loose = quick_config();
+  loose.slo_s = 2.0;
+  EndToEndConfig tight = quick_config();
+  tight.slo_s = 0.5;
+  const auto l = run_end_to_end({trace_}, StrategyKind::kTangram, loose);
+  const auto t = run_end_to_end({trace_}, StrategyKind::kTangram, tight);
+  EXPECT_GE(t.total_cost + 1e-9, l.total_cost * 0.95);
+  EXPECT_GE(t.invocations, l.invocations);
+}
+
+TEST_F(HarnessTest, RejectsEmptyCameraList) {
+  EXPECT_THROW((void)run_end_to_end({}, StrategyKind::kTangram,
+                                    quick_config()),
+               std::invalid_argument);
+}
+
+TEST_F(HarnessTest, PerFrameCostOrderingMatchesFig8) {
+  EndToEndConfig config = quick_config();
+  config.latency = serverless::alibaba_function_compute_params();
+  const auto tangram = per_frame_cost(*trace_, StrategyKind::kTangram, config);
+  const auto masked =
+      per_frame_cost(*trace_, StrategyKind::kMaskedFrame, config);
+  const auto full = per_frame_cost(*trace_, StrategyKind::kFullFrame, config);
+  const auto elf = per_frame_cost(*trace_, StrategyKind::kElf, config);
+  EXPECT_LT(tangram.total_cost, masked.total_cost);
+  EXPECT_LT(masked.total_cost, full.total_cost);
+  EXPECT_LT(full.total_cost, elf.total_cost);
+  EXPECT_EQ(full.invocations, trace_->eval_frame_count());
+}
+
+TEST_F(HarnessTest, PerFrameCostRejectsOnlineOnlyBaselines) {
+  EXPECT_THROW(
+      (void)per_frame_cost(*trace_, StrategyKind::kClipper, quick_config()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)per_frame_cost(*trace_, StrategyKind::kMArk, quick_config()),
+      std::invalid_argument);
+}
+
+TEST_F(HarnessTest, DedicatedUplinksReduceQueueing) {
+  EndToEndConfig shared = quick_config();
+  shared.bandwidth_mbps = 10.0;
+  EndToEndConfig dedicated = shared;
+  dedicated.dedicated_uplinks = true;
+  const auto s =
+      run_end_to_end({trace_, trace_}, StrategyKind::kTangram, shared);
+  const auto d =
+      run_end_to_end({trace_, trace_}, StrategyKind::kTangram, dedicated);
+  EXPECT_EQ(s.completed_items, d.completed_items);
+  // Two dedicated 10 Mbps links carry strictly more than one shared one.
+  EXPECT_LE(d.e2e_latency.mean(), s.e2e_latency.mean() + 1e-9);
+}
+
+TEST_F(HarnessTest, PerCameraSloOverridesDefault) {
+  EndToEndConfig config = quick_config();
+  config.slo_s = 10.0;               // default very loose
+  config.per_camera_slo = {0.001};   // camera 0 impossible to meet
+  const auto result =
+      run_end_to_end({trace_, trace_}, StrategyKind::kTangram, config);
+  // Camera 0's patches all violate; camera 1's (default SLO) all pass.
+  EXPECT_GT(result.violation_rate(), 0.35);
+  EXPECT_LT(result.violation_rate(), 0.65);
+}
+
+TEST(HarnessNames, StrategyNamesAreStable) {
+  EXPECT_EQ(to_string(StrategyKind::kTangram), "Tangram");
+  EXPECT_EQ(to_string(StrategyKind::kFullFrame), "FullFrame");
+  EXPECT_EQ(to_string(StrategyKind::kMaskedFrame), "MaskedFrame");
+  EXPECT_EQ(to_string(StrategyKind::kElf), "ELF");
+  EXPECT_EQ(to_string(StrategyKind::kClipper), "Clipper");
+  EXPECT_EQ(to_string(StrategyKind::kMArk), "MArk");
+}
+
+}  // namespace
+}  // namespace tangram::experiments

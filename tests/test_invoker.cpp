@@ -1,0 +1,215 @@
+#include "core/invoker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tangram::core {
+namespace {
+
+// Deterministic latency model (no jitter) so Tslack values are exact.
+serverless::InferenceLatencyModel deterministic_model() {
+  serverless::LatencyModelParams params;
+  params.jitter_sigma = 0.0;
+  params.overhead_s = 0.1;
+  params.per_canvas_s = 0.1;
+  params.batch_alpha = 1.0;
+  return serverless::InferenceLatencyModel(params, common::Rng(1, 1));
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  serverless::InferenceLatencyModel model = deterministic_model();
+  LatencyEstimator estimator;
+  std::vector<Batch> invoked;
+  std::unique_ptr<SloAwareInvoker> invoker;
+
+  explicit Fixture(int max_canvases = 9)
+      : estimator(model, {1024, 1024},
+                  [] {
+                    LatencyEstimator::Config c;
+                    c.max_profiled_batch = 10;
+                    c.iterations = 50;
+                    return c;
+                  }()) {
+    InvokerConfig config;
+    config.max_canvases = max_canvases;
+    invoker = std::make_unique<SloAwareInvoker>(
+        sim, StitchSolver(), estimator, config,
+        [this](Batch&& b) { invoked.push_back(std::move(b)); });
+  }
+
+  Patch make_patch(std::uint64_t id, common::Size size, double generation,
+                   double slo) const {
+    Patch p;
+    p.id = id;
+    p.region = {0, 0, size.width, size.height};
+    p.generation_time = generation;
+    p.slo = slo;
+    return p;
+  }
+};
+
+// Tslack(B) with the deterministic model is exactly 0.1 + 0.1 * B.
+
+TEST(Invoker, SinglePatchInvokedAtRemainingTime) {
+  Fixture f;
+  // Deadline 1.0; slack(1 canvas) = 0.2 -> invoke at t = 0.8.
+  f.sim.schedule_at(0.0, [&] {
+    f.invoker->on_patch(f.make_patch(1, {300, 300}, 0.0, 1.0));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  EXPECT_NEAR(f.invoked[0].invoke_time, 0.8, 1e-9);
+  EXPECT_EQ(f.invoked[0].total_patches, 1);
+  EXPECT_EQ(f.invoked[0].canvas_count(), 1);
+}
+
+TEST(Invoker, PatchesBatchTogetherUntilDeadline) {
+  Fixture f;
+  for (int i = 0; i < 4; ++i) {
+    f.sim.schedule_at(0.05 * i, [&f, i] {
+      f.invoker->on_patch(
+          f.make_patch(static_cast<std::uint64_t>(i), {400, 400},
+                       0.05 * i, 1.0));
+    });
+  }
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  EXPECT_EQ(f.invoked[0].total_patches, 4);
+  // Earliest deadline is patch 0's (t=1.0); batch fits one canvas? 4x400^2
+  // = 0.61 of a canvas by area, but 400x400 tiles: 2x2 fit in 1024. Either
+  // way the batch respects the earliest deadline minus its slack.
+  const double slack = 0.1 + 0.1 * f.invoked[0].canvas_count();
+  EXPECT_NEAR(f.invoked[0].invoke_time, 1.0 - slack, 1e-9);
+}
+
+TEST(Invoker, TimerReArmsAsBatchGrows) {
+  Fixture f;
+  // Patch A alone -> invoke at 0.8.  Patch B (same deadline) makes the
+  // packing 2 canvases -> slack 0.3 -> invoke at 0.7 instead.
+  f.sim.schedule_at(0.0, [&] {
+    f.invoker->on_patch(f.make_patch(1, {800, 800}, 0.0, 1.0));
+  });
+  f.sim.schedule_at(0.1, [&] {
+    f.invoker->on_patch(f.make_patch(2, {800, 800}, 0.0, 1.0));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  EXPECT_EQ(f.invoked[0].canvas_count(), 2);
+  EXPECT_NEAR(f.invoked[0].invoke_time, 0.7, 1e-9);
+}
+
+TEST(Invoker, MemoryOverflowFlushesOldCanvases) {
+  Fixture f(/*max_canvases=*/2);
+  // Three 800x800 patches need three canvases -> exceeding max 2 forces the
+  // first two out as soon as the third arrives.
+  for (int i = 0; i < 3; ++i) {
+    f.sim.schedule_at(0.1 * i, [&f, i] {
+      f.invoker->on_patch(f.make_patch(static_cast<std::uint64_t>(i),
+                                       {800, 800}, 0.1 * i, 2.0));
+    });
+  }
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 2u);
+  EXPECT_EQ(f.invoked[0].total_patches, 2);
+  EXPECT_NEAR(f.invoked[0].invoke_time, 0.2, 1e-9);  // at third arrival
+  EXPECT_EQ(f.invoked[1].total_patches, 1);
+  EXPECT_EQ(f.invoker->forced_flushes(), 1u);
+}
+
+TEST(Invoker, SloPressureFlushesOldBatch) {
+  Fixture f;
+  // Patch A: deadline 1.0, slack(1) = 0.2 -> must invoke by 0.8.
+  // Patch B arrives at 0.75 with a huge size: packing becomes 2 canvases,
+  // slack 0.3, t_remain = 0.7 < now -> A must go immediately; B restarts.
+  f.sim.schedule_at(0.0, [&] {
+    f.invoker->on_patch(f.make_patch(1, {900, 900}, 0.0, 1.0));
+  });
+  f.sim.schedule_at(0.75, [&] {
+    f.invoker->on_patch(f.make_patch(2, {900, 900}, 0.75, 1.0));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 2u);
+  EXPECT_EQ(f.invoked[0].total_patches, 1);
+  EXPECT_NEAR(f.invoked[0].invoke_time, 0.75, 1e-9);  // forced at arrival
+  EXPECT_EQ(f.invoked[1].total_patches, 1);
+  // B alone: deadline 1.75, slack 0.2 -> invoked at 1.55.
+  EXPECT_NEAR(f.invoked[1].invoke_time, 1.55, 1e-9);
+}
+
+TEST(Invoker, HopelessPatchDispatchedImmediately) {
+  Fixture f;
+  // Deadline already closer than slack(1) = 0.2.
+  f.sim.schedule_at(0.5, [&] {
+    f.invoker->on_patch(f.make_patch(1, {300, 300}, 0.4, 0.25));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  EXPECT_NEAR(f.invoked[0].invoke_time, 0.5, 1e-9);
+}
+
+TEST(Invoker, FlushDispatchesPendingWork) {
+  Fixture f;
+  f.sim.schedule_at(0.0, [&] {
+    f.invoker->on_patch(f.make_patch(1, {300, 300}, 0.0, 100.0));
+  });
+  f.sim.run_until(1.0);
+  EXPECT_TRUE(f.invoked.empty());
+  EXPECT_EQ(f.invoker->pending_patches(), 1u);
+  f.invoker->flush();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  EXPECT_EQ(f.invoker->pending_patches(), 0u);
+  f.invoker->flush();  // idempotent
+  EXPECT_EQ(f.invoked.size(), 1u);
+}
+
+TEST(Invoker, BatchCarriesPlacementsAndFill) {
+  Fixture f;
+  f.sim.schedule_at(0.0, [&] {
+    f.invoker->on_patch(f.make_patch(1, {512, 512}, 0.0, 1.0));
+    f.invoker->on_patch(f.make_patch(2, {512, 512}, 0.0, 1.0));
+  });
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  const Batch& batch = f.invoked[0];
+  ASSERT_EQ(batch.canvases.size(), 1u);
+  const PackedCanvas& canvas = batch.canvases[0];
+  ASSERT_EQ(canvas.patches.size(), 2u);
+  ASSERT_EQ(canvas.positions.size(), 2u);
+  EXPECT_NEAR(canvas.fill, 2.0 * 512 * 512 / (1024.0 * 1024), 1e-12);
+  EXPECT_NE(canvas.positions[0], canvas.positions[1]);
+}
+
+TEST(Invoker, TelemetryAccumulates) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i) {
+    f.sim.schedule_at(0.01 * i, [&f, i] {
+      f.invoker->on_patch(f.make_patch(static_cast<std::uint64_t>(i),
+                                       {256, 256}, 0.01 * i, 0.9));
+    });
+  }
+  f.sim.run();
+  EXPECT_GE(f.invoker->batches_invoked(), 1u);
+  EXPECT_EQ(f.invoker->batch_patch_count().stats().sum(), 6.0);
+  EXPECT_GT(f.invoker->canvas_efficiency().count(), 0u);
+}
+
+TEST(Invoker, RejectsBadConstruction) {
+  sim::Simulator sim;
+  auto model = deterministic_model();
+  LatencyEstimator::Config c;
+  c.iterations = 50;
+  const LatencyEstimator estimator(model, {1024, 1024}, c);
+  EXPECT_THROW(SloAwareInvoker(sim, StitchSolver(), estimator, InvokerConfig{},
+                               nullptr),
+               std::invalid_argument);
+  InvokerConfig bad;
+  bad.max_canvases = 0;
+  EXPECT_THROW(SloAwareInvoker(sim, StitchSolver(), estimator, bad,
+                               [](Batch&&) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tangram::core

@@ -1,0 +1,133 @@
+#include "core/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace tangram::core {
+namespace {
+
+// Build a batch with two patches on one canvas and one on a second.
+Batch make_batch() {
+  Batch batch;
+  batch.canvases.resize(2);
+
+  Patch a;
+  a.id = 1;
+  a.camera_id = 3;
+  a.frame_index = 17;
+  a.region = {1000, 500, 400, 300};  // frame coordinates
+  Patch b;
+  b.id = 2;
+  b.camera_id = 3;
+  b.frame_index = 17;
+  b.region = {2000, 900, 200, 200};
+  Patch c;
+  c.id = 3;
+  c.camera_id = 4;
+  c.frame_index = 21;
+  c.region = {0, 0, 600, 600};
+
+  batch.canvases[0].patches = {a, b};
+  batch.canvases[0].positions = {{0, 0}, {400, 0}};  // side by side
+  batch.canvases[1].patches = {c};
+  batch.canvases[1].positions = {{10, 20}};
+  return batch;
+}
+
+TEST(Mapping, TranslatesCanvasBoxToFrame) {
+  const Batch batch = make_batch();
+  CanvasDetection det;
+  det.canvas_index = 0;
+  det.box = {50, 60, 100, 80};  // inside patch a
+  det.confidence = 0.9;
+  const auto mapped = map_to_frame(batch, det);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->camera_id, 3);
+  EXPECT_EQ(mapped->frame_index, 17);
+  EXPECT_EQ(mapped->box, (common::Rect{1050, 560, 100, 80}));
+  EXPECT_DOUBLE_EQ(mapped->confidence, 0.9);
+}
+
+TEST(Mapping, SecondPatchOffsetsCorrectly) {
+  const Batch batch = make_batch();
+  CanvasDetection det;
+  det.canvas_index = 0;
+  det.box = {410, 10, 50, 50};  // inside patch b (placed at x=400)
+  const auto mapped = map_to_frame(batch, det);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->box, (common::Rect{2010, 910, 50, 50}));
+}
+
+TEST(Mapping, SecondCanvasUsesItsOwnPlacement) {
+  const Batch batch = make_batch();
+  CanvasDetection det;
+  det.canvas_index = 1;
+  det.box = {10, 20, 100, 100};  // exactly at patch c's origin
+  const auto mapped = map_to_frame(batch, det);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->camera_id, 4);
+  EXPECT_EQ(mapped->box, (common::Rect{0, 0, 100, 100}));
+}
+
+TEST(Mapping, StraddlingBoxAssignedToLargerOverlapAndClipped) {
+  const Batch batch = make_batch();
+  CanvasDetection det;
+  det.canvas_index = 0;
+  // Covers x in [380, 480): 20 px on patch a, 80 px on patch b.
+  det.box = {380, 10, 100, 50};
+  const auto mapped = map_to_frame(batch, det);
+  ASSERT_TRUE(mapped.has_value());
+  // Clipped to patch b ([400, 480) on canvas), then translated.
+  EXPECT_EQ(mapped->box, (common::Rect{2000, 910, 80, 50}));
+}
+
+TEST(Mapping, BoxOnPaddingIsDropped) {
+  const Batch batch = make_batch();
+  CanvasDetection det;
+  det.canvas_index = 0;
+  det.box = {700, 700, 50, 50};  // empty canvas area
+  EXPECT_FALSE(map_to_frame(batch, det).has_value());
+}
+
+TEST(Mapping, InvalidCanvasIndexDropped) {
+  const Batch batch = make_batch();
+  CanvasDetection det;
+  det.canvas_index = 5;
+  det.box = {0, 0, 10, 10};
+  EXPECT_FALSE(map_to_frame(batch, det).has_value());
+  det.canvas_index = -1;
+  EXPECT_FALSE(map_to_frame(batch, det).has_value());
+}
+
+TEST(Mapping, BatchHelperFiltersAndMaps) {
+  const Batch batch = make_batch();
+  std::vector<CanvasDetection> dets(3);
+  dets[0].canvas_index = 0;
+  dets[0].box = {10, 10, 20, 20};
+  dets[1].canvas_index = 0;
+  dets[1].box = {800, 800, 20, 20};  // padding -> dropped
+  dets[2].canvas_index = 1;
+  dets[2].box = {10, 20, 30, 30};
+  const auto mapped = map_batch_detections(batch, dets);
+  EXPECT_EQ(mapped.size(), 2u);
+}
+
+TEST(Mapping, RoundTripPreservesGeometry) {
+  // frame -> canvas -> frame is the identity for boxes inside one patch.
+  const Batch batch = make_batch();
+  const Patch& patch = batch.canvases[0].patches[0];
+  const common::Rect frame_box{1100, 620, 120, 90};
+  // Forward transform (what the canvas renderer does).
+  const common::Rect canvas_box{
+      frame_box.x - patch.region.x + batch.canvases[0].positions[0].x,
+      frame_box.y - patch.region.y + batch.canvases[0].positions[0].y,
+      frame_box.width, frame_box.height};
+  CanvasDetection det;
+  det.canvas_index = 0;
+  det.box = canvas_box;
+  const auto mapped = map_to_frame(batch, det);
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->box, frame_box);
+}
+
+}  // namespace
+}  // namespace tangram::core

@@ -1,0 +1,194 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tangram::core {
+namespace {
+
+const common::Size kFrame{3840, 2160};
+
+TEST(Partitioner, NoRoisNoPatches) {
+  const auto result = partition_frame(kFrame, {}, PartitionConfig{});
+  EXPECT_TRUE(result.patches.empty());
+}
+
+TEST(Partitioner, SingleRoiSinglePatch) {
+  const std::vector<common::Rect> rois{{100, 100, 50, 80}};
+  PartitionConfig config;
+  config.context_margin = 0;
+  const auto result = partition_frame(kFrame, rois, config);
+  ASSERT_EQ(result.patches.size(), 1u);
+  EXPECT_EQ(result.patches[0], rois[0]);
+  EXPECT_EQ(result.roi_affiliation[0], 0);  // zone (0,0)
+}
+
+TEST(Partitioner, ContextMarginGrowsPatch) {
+  const std::vector<common::Rect> rois{{100, 100, 50, 80}};
+  PartitionConfig config;
+  config.context_margin = 12;
+  const auto result = partition_frame(kFrame, rois, config);
+  ASSERT_EQ(result.patches.size(), 1u);
+  EXPECT_EQ(result.patches[0], (common::Rect{88, 88, 74, 104}));
+}
+
+TEST(Partitioner, RoiAssignedToMaxOverlapZone) {
+  // 2x2 zones on a 100x100 frame: zone boundary at x=50.  An RoI covering
+  // x in [40, 70) overlaps zone 0 by 10 and zone 1 by 20 -> zone 1.
+  PartitionConfig config;
+  config.zones_x = 2;
+  config.zones_y = 2;
+  config.context_margin = 0;
+  const std::vector<common::Rect> rois{{40, 10, 30, 10}};
+  const auto result = partition_frame({100, 100}, rois, config);
+  EXPECT_EQ(result.roi_affiliation[0], 1);
+  ASSERT_EQ(result.patches.size(), 1u);
+  // The patch is the whole RoI even though it crosses the zone boundary.
+  EXPECT_EQ(result.patches[0], rois[0]);
+}
+
+TEST(Partitioner, MultipleRoisInZoneShareEnclosingPatch) {
+  PartitionConfig config;
+  config.zones_x = 2;
+  config.zones_y = 2;
+  config.context_margin = 0;
+  const std::vector<common::Rect> rois{{5, 5, 10, 10}, {30, 30, 10, 10}};
+  const auto result = partition_frame({100, 100}, rois, config);
+  ASSERT_EQ(result.patches.size(), 1u);
+  EXPECT_EQ(result.patches[0], (common::Rect{5, 5, 35, 35}));
+}
+
+TEST(Partitioner, PatchCountBoundedByZoneCount) {
+  common::Rng rng(5, 1);
+  std::vector<common::Rect> rois;
+  for (int i = 0; i < 500; ++i)
+    rois.push_back({rng.uniform_int(0, 3700), rng.uniform_int(0, 2000),
+                    rng.uniform_int(10, 120), rng.uniform_int(10, 150)});
+  for (const int grid : {2, 4, 6}) {
+    PartitionConfig config;
+    config.zones_x = grid;
+    config.zones_y = grid;
+    const auto result = partition_frame(kFrame, rois, config);
+    EXPECT_LE(static_cast<int>(result.patches.size()), grid * grid);
+  }
+}
+
+TEST(Partitioner, EveryRoiCoveredByItsZonePatch) {
+  common::Rng rng(9, 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<common::Rect> rois;
+    const int n = rng.uniform_int(1, 60);
+    for (int i = 0; i < n; ++i)
+      rois.push_back({rng.uniform_int(0, 3600), rng.uniform_int(0, 1900),
+                      rng.uniform_int(5, 240), rng.uniform_int(5, 260)});
+    PartitionConfig config;
+    config.context_margin = 0;
+    const auto result = partition_frame(kFrame, rois, config);
+
+    for (std::size_t b = 0; b < rois.size(); ++b) {
+      const int zone = result.roi_affiliation[b];
+      ASSERT_GE(zone, 0);
+      bool covered = false;
+      for (std::size_t p = 0; p < result.patches.size(); ++p) {
+        if (result.zone_of_patch[p] == zone &&
+            result.patches[p].contains(rois[b]))
+          covered = true;
+      }
+      EXPECT_TRUE(covered) << "trial " << trial << " roi " << b;
+    }
+  }
+}
+
+TEST(Partitioner, PatchesStayInsideFrame) {
+  common::Rng rng(13, 1);
+  std::vector<common::Rect> rois;
+  for (int i = 0; i < 100; ++i) {
+    // Include RoIs hanging over the frame edge.
+    rois.push_back({rng.uniform_int(-50, 3800), rng.uniform_int(-50, 2100),
+                    rng.uniform_int(10, 400), rng.uniform_int(10, 400)});
+  }
+  const auto result = partition_frame(kFrame, rois, PartitionConfig{});
+  const common::Rect bounds{0, 0, kFrame.width, kFrame.height};
+  for (const auto& patch : result.patches) {
+    EXPECT_TRUE(bounds.contains(patch)) << patch;
+    EXPECT_FALSE(patch.empty());
+  }
+}
+
+TEST(Partitioner, FinerGridsGiveSmallerTotalArea) {
+  common::Rng rng(17, 1);
+  std::vector<common::Rect> rois;
+  for (int i = 0; i < 80; ++i)
+    rois.push_back({rng.uniform_int(0, 3600), rng.uniform_int(0, 1900),
+                    rng.uniform_int(20, 200), rng.uniform_int(30, 220)});
+  std::int64_t prev_area = std::numeric_limits<std::int64_t>::max();
+  for (const int grid : {1, 2, 4, 8}) {
+    PartitionConfig config;
+    config.zones_x = grid;
+    config.zones_y = grid;
+    config.context_margin = 0;
+    std::int64_t area = 0;
+    for (const auto& p : partition_patches(kFrame, rois, config))
+      area += p.area();
+    EXPECT_LE(area, prev_area) << "grid " << grid;
+    prev_area = area;
+  }
+}
+
+TEST(Partitioner, RejectsBadConfig) {
+  PartitionConfig config;
+  config.zones_x = 0;
+  EXPECT_THROW(partition_frame(kFrame, {}, config), std::invalid_argument);
+  EXPECT_THROW(partition_frame({0, 0}, {}, PartitionConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Partitioner, IgnoresRoisOutsideFrame) {
+  const std::vector<common::Rect> rois{{5000, 5000, 50, 50}};
+  const auto result = partition_frame(kFrame, rois, PartitionConfig{});
+  EXPECT_TRUE(result.patches.empty());
+  EXPECT_EQ(result.roi_affiliation[0], -1);
+}
+
+// Property sweep: invariants hold across many random configurations.
+class PartitionerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionerProperty, InvariantsHold) {
+  common::Rng rng(GetParam(), 3);
+  const int grid_x = rng.uniform_int(1, 8);
+  const int grid_y = rng.uniform_int(1, 8);
+  const int n = rng.uniform_int(0, 120);
+  std::vector<common::Rect> rois;
+  for (int i = 0; i < n; ++i)
+    rois.push_back({rng.uniform_int(-100, 3900), rng.uniform_int(-100, 2200),
+                    rng.uniform_int(1, 500), rng.uniform_int(1, 500)});
+
+  PartitionConfig config;
+  config.zones_x = grid_x;
+  config.zones_y = grid_y;
+  config.context_margin = rng.uniform_int(0, 40);
+  const auto result = partition_frame(kFrame, rois, config);
+
+  const common::Rect bounds{0, 0, kFrame.width, kFrame.height};
+  ASSERT_EQ(result.roi_affiliation.size(), rois.size());
+  ASSERT_EQ(result.patches.size(), result.zone_of_patch.size());
+  EXPECT_LE(static_cast<int>(result.patches.size()), grid_x * grid_y);
+  for (const auto& patch : result.patches) {
+    EXPECT_TRUE(bounds.contains(patch));
+  }
+  for (std::size_t b = 0; b < rois.size(); ++b) {
+    const common::Rect clamped = common::clamp_to(rois[b], bounds);
+    if (clamped.empty()) {
+      EXPECT_EQ(result.roi_affiliation[b], -1);
+    } else {
+      EXPECT_GE(result.roi_affiliation[b], 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, PartitionerProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace tangram::core

@@ -1,0 +1,188 @@
+#include "serverless/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "serverless/cost.h"
+
+namespace tangram::serverless {
+namespace {
+
+PlatformConfig default_config() {
+  PlatformConfig c;
+  c.cold_start_s = 0.5;
+  c.keepalive_s = 10.0;
+  return c;
+}
+
+LatencyModelParams deterministic_latency() {
+  LatencyModelParams p;
+  p.jitter_sigma = 0.0;
+  return p;
+}
+
+// --- cost model (Eqn. 1) ------------------------------------------------------
+
+TEST(CostModel, MatchesHandComputedEqn1) {
+  const ResourceConfig r{2.0, 4.0, 6.0};
+  const Pricing p;
+  // rate = 2*2.138e-5 + 4*2.138e-5 + 6*1.05e-4 = 1.2828e-4 + 6.3e-4
+  EXPECT_NEAR(resource_rate(r, p), 7.5828e-4, 1e-9);
+  // 1 second of execution + request fee.
+  EXPECT_NEAR(invocation_cost(1.0, r, p), 7.5828e-4 + 2e-7, 1e-10);
+  // Zero-duration invocation still pays the request fee.
+  EXPECT_NEAR(invocation_cost(0.0, r, p), 2e-7, 1e-15);
+}
+
+TEST(CostModel, RejectsNegativeTime) {
+  EXPECT_THROW(invocation_cost(-1.0, ResourceConfig{}), std::invalid_argument);
+}
+
+// --- platform ------------------------------------------------------------------
+
+TEST(Platform, FirstInvocationPaysColdStart) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  InvocationRecord record;
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  platform.invoke(spec, [&](const InvocationRecord& r) { record = r; });
+  sim.run();
+  EXPECT_TRUE(record.cold_start);
+  EXPECT_NEAR(record.start_time, 0.5, 1e-12);
+  EXPECT_NEAR(record.finish_time, 0.5 + record.execution_s, 1e-12);
+}
+
+TEST(Platform, WarmInstanceReused) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  std::vector<InvocationRecord> records;
+  platform.invoke(spec, [&](const InvocationRecord& r) {
+    records.push_back(r);
+    // Second request right after the first finishes: warm path.
+    if (records.size() == 1)
+      platform.invoke(spec,
+                      [&](const InvocationRecord& r2) { records.push_back(r2); });
+  });
+  sim.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].cold_start);
+  EXPECT_FALSE(records[1].cold_start);
+  EXPECT_EQ(records[1].instance_id, records[0].instance_id);
+  EXPECT_EQ(platform.instances_created(), 1);
+}
+
+TEST(Platform, ConcurrentRequestsScaleOut) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  int done = 0;
+  for (int i = 0; i < 4; ++i)
+    platform.invoke(spec, [&](const InvocationRecord&) { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(platform.instances_created(), 4);  // concurrency 1 per instance
+}
+
+TEST(Platform, KeepaliveExpiryCausesSecondColdStart) {
+  sim::Simulator sim;
+  PlatformConfig config = default_config();
+  config.keepalive_s = 2.0;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  std::vector<bool> cold;
+  platform.invoke(spec,
+                  [&](const InvocationRecord& r) { cold.push_back(r.cold_start); });
+  sim.run();
+  // Well past the keep-alive window.
+  sim.schedule_at(sim.now() + 5.0, [&] {
+    platform.invoke(spec, [&](const InvocationRecord& r) {
+      cold.push_back(r.cold_start);
+    });
+  });
+  sim.run();
+  ASSERT_EQ(cold.size(), 2u);
+  EXPECT_TRUE(cold[0]);
+  EXPECT_TRUE(cold[1]);
+  EXPECT_EQ(platform.instances_created(), 1);  // slot reused, not grown
+}
+
+TEST(Platform, BacklogDrainsFifoWhenAtMaxInstances) {
+  sim::Simulator sim;
+  PlatformConfig config = default_config();
+  config.max_instances = 1;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i)
+    platform.invoke(spec, [&order, i](const InvocationRecord&) {
+      order.push_back(i);
+    });
+  EXPECT_EQ(platform.queued_requests(), 2u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(platform.instances_created(), 1);
+}
+
+TEST(Platform, CostAccumulatesPerEqn1) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 2;
+  double exec = 0;
+  platform.invoke(spec, [&](const InvocationRecord& r) { exec = r.execution_s; });
+  sim.run();
+  EXPECT_NEAR(platform.total_cost(),
+              invocation_cost(exec, default_config().resources), 1e-12);
+  EXPECT_EQ(platform.invocations(), 1u);
+  EXPECT_NEAR(platform.busy_seconds(), exec, 1e-12);
+}
+
+TEST(Platform, GpuMemoryConstraintEnforced) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  // 6 GB VRAM - 1.5 GB model = 4.5 GB / 0.5 GB per 1024-canvas = 9.
+  EXPECT_EQ(platform.max_canvases_per_batch({1024, 1024}), 9);
+  // Smaller canvases use proportionally less memory.
+  EXPECT_EQ(platform.max_canvases_per_batch({512, 512}), 36);
+  RequestSpec too_big;
+  too_big.num_canvases = 10;
+  EXPECT_THROW(platform.invoke(too_big, nullptr), std::invalid_argument);
+}
+
+TEST(Platform, RejectsEmptyRequest) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  EXPECT_THROW(platform.invoke(RequestSpec{}, nullptr), std::invalid_argument);
+}
+
+TEST(Platform, ImageRequestsUseImagePath) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  RequestSpec small, large;
+  small.image_megapixels = 0.2;
+  large.image_megapixels = 8.3;
+  double t_small = 0, t_large = 0;
+  platform.invoke(small, [&](const InvocationRecord& r) { t_small = r.execution_s; });
+  platform.invoke(large, [&](const InvocationRecord& r) { t_large = r.execution_s; });
+  sim.run();
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(Platform, ExecutionLatencyTelemetry) {
+  sim::Simulator sim;
+  FunctionPlatform platform(sim, default_config(), deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  for (int i = 0; i < 5; ++i) platform.invoke(spec, nullptr);
+  sim.run();
+  EXPECT_EQ(platform.execution_latency().count(), 5u);
+  EXPECT_EQ(platform.queueing_delay().count(), 5u);
+}
+
+}  // namespace
+}  // namespace tangram::serverless

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "video/codec.h"
+#include "video/raster.h"
+#include "video/scene_catalog.h"
+
+namespace tangram::video {
+namespace {
+
+RasterConfig small_raster() {
+  RasterConfig c;
+  c.analysis = {160, 90};
+  return c;
+}
+
+TEST(FrameRasterizer, RendersAtAnalysisResolution) {
+  FrameRasterizer r({1920, 1080}, small_raster());
+  FrameTruth truth;
+  const Image img = r.render(truth);
+  EXPECT_EQ(img.width(), 160);
+  EXPECT_EQ(img.height(), 90);
+}
+
+TEST(FrameRasterizer, CoordinateMappingRoundTrips) {
+  FrameRasterizer r({1920, 1080}, small_raster());
+  const common::Rect native{480, 270, 240, 135};
+  const common::Rect analysis = r.to_analysis(native);
+  EXPECT_EQ(analysis, (common::Rect{40, 22, 20, 12}));
+  // Scaling back up covers the original region (outward rounding).
+  EXPECT_TRUE(r.to_native(analysis).contains(native));
+}
+
+TEST(FrameRasterizer, ObjectsContrastWithBackground) {
+  RasterConfig config = small_raster();
+  config.noise_sigma = 0.0;
+  FrameRasterizer with_obj({1920, 1080}, config);
+  FrameRasterizer without_obj({1920, 1080}, config);
+
+  FrameTruth truth;
+  truth.objects.push_back({0, common::Rect{480, 270, 480, 405}});
+  const Image a = with_obj.render(truth);
+  const Image b = without_obj.render(FrameTruth{});
+
+  // Inside the object's footprint the images differ markedly.
+  double diff_inside = 0;
+  int n = 0;
+  for (int y = 25; y < 50; ++y)
+    for (int x = 42; x < 78; ++x) {
+      diff_inside += std::abs(static_cast<double>(a.at(x, y)) - b.at(x, y));
+      ++n;
+    }
+  EXPECT_GT(diff_inside / n, 5.0);
+}
+
+TEST(FrameRasterizer, BackgroundIsTemporallyStable) {
+  FrameRasterizer r({1920, 1080}, small_raster());
+  FrameTruth t0, t1;
+  t1.frame_index = 1;
+  t1.timestamp = 1.0;
+  const Image a = r.render(t0);
+  const Image b = r.render(t1);
+  double total_diff = 0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x)
+      total_diff += std::abs(static_cast<double>(a.at(x, y)) - b.at(x, y));
+  // Only noise + drift: small average difference.
+  EXPECT_LT(total_diff / a.pixel_count(), 8.0);
+}
+
+TEST(Image, FillRectClamps) {
+  Image img(10, 10, 0);
+  img.fill_rect({8, 8, 5, 5}, 255);
+  EXPECT_EQ(img.at(9, 9), 255);
+  EXPECT_EQ(img.at(7, 7), 0);
+  img.fill_rect({-3, -3, 4, 4}, 7);
+  EXPECT_EQ(img.at(0, 0), 7);
+}
+
+TEST(Image, RejectsBadDimensions) {
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+  EXPECT_THROW(Image(5, -1), std::invalid_argument);
+}
+
+// --- codec ---------------------------------------------------------------
+
+TEST(CodecModel, FullFrameBytesPlausible) {
+  const CodecModel codec;
+  // A 4K frame at ~8% content should encode to roughly 1-2 MB.
+  const std::size_t bytes = codec.full_frame_bytes({3840, 2160}, 0.08);
+  EXPECT_GT(bytes, 800u * 1024);
+  EXPECT_LT(bytes, 2u * 1024 * 1024);
+}
+
+TEST(CodecModel, MoreContentCostsMoreBits) {
+  const CodecModel codec;
+  EXPECT_GT(codec.full_frame_bytes({3840, 2160}, 0.15),
+            codec.full_frame_bytes({3840, 2160}, 0.05));
+  EXPECT_GT(codec.masked_frame_bytes({3840, 2160}, 0.15, 1000.0),
+            codec.masked_frame_bytes({3840, 2160}, 0.05, 1000.0));
+}
+
+TEST(CodecModel, MaskedNearFullFrame) {
+  // Fig. 9: masked frames land within ~±35% of the full-frame bytes
+  // (typical merged-RoI perimeters in the traces are a few 10^4 px).
+  const CodecModel codec;
+  for (const double cf : {0.05, 0.10, 0.15}) {
+    const double full = static_cast<double>(
+        codec.full_frame_bytes({3840, 2160}, cf));
+    const double masked = static_cast<double>(
+        codec.masked_frame_bytes({3840, 2160}, cf, 3.0e4));
+    EXPECT_GT(masked / full, 0.8) << "cf=" << cf;
+    EXPECT_LT(masked / full, 1.35) << "cf=" << cf;
+  }
+}
+
+TEST(CodecModel, PatchBytesScaleWithArea) {
+  const CodecModel codec;
+  const std::size_t small = codec.patch_bytes({100, 100});
+  const std::size_t large = codec.patch_bytes({200, 200});
+  // 4x area -> a bit under 4x bytes (fixed per-message header).
+  const double ratio = static_cast<double>(large) / small;
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LE(ratio, 4.0);
+}
+
+TEST(CodecModel, ElfEncodeCostsMoreThanPatchEncode) {
+  const CodecModel codec;
+  EXPECT_GT(codec.elf_patch_bytes({300, 300}),
+            2 * codec.patch_bytes({300, 300}));
+}
+
+TEST(CodecModel, HeaderDominatesTinyMessages) {
+  const CodecModel codec;
+  const std::size_t bytes = codec.patch_bytes({4, 4});
+  EXPECT_GE(bytes, 600u);  // per-message overhead floor
+}
+
+}  // namespace
+}  // namespace tangram::video

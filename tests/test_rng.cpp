@@ -1,0 +1,129 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tangram::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123, 5), b(123, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123, 5), b(124, 5);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u32() == b.next_u32()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DifferentStreamsDiverge) {
+  Rng a(123, 1), b(123, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u32() == b.next_u32()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const int v = rng.uniform_int(2, 7);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 7);
+    ++counts[static_cast<std::size_t>(v - 2)];
+  }
+  // Roughly uniform: each bucket within 10% of expectation.
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(23);
+  double sum = 0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(29);
+  std::vector<double> values;
+  constexpr int n = 20001;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) values.push_back(rng.lognormal(0.0, 0.5));
+  std::nth_element(values.begin(), values.begin() + n / 2, values.end());
+  EXPECT_NEAR(values[n / 2], 1.0, 0.05);  // median of lognormal(0, s) is 1
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31, 1);
+  Rng child = parent.fork(42);
+  Rng parent2(31, 1);
+  Rng child2 = parent2.fork(42);
+  // Same derivation -> same stream.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child.next_u32(), child2.next_u32());
+  // Different salt -> different stream.
+  Rng parent3(31, 1);
+  Rng other = parent3.fork(43);
+  Rng child3 = Rng(31, 1).fork(42);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (other.next_u32() == child3.next_u32()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace tangram::common

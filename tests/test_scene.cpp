@@ -1,0 +1,167 @@
+#include "video/scene.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "video/scene_catalog.h"
+
+namespace tangram::video {
+namespace {
+
+TEST(SyntheticScene, DeterministicForSameSpec) {
+  const SceneSpec spec = test_scene(7);
+  const auto a = SyntheticScene::generate_all(spec);
+  const auto b = SyntheticScene::generate_all(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].objects.size(), b[i].objects.size());
+    for (std::size_t j = 0; j < a[i].objects.size(); ++j) {
+      EXPECT_EQ(a[i].objects[j].id, b[i].objects[j].id);
+      EXPECT_EQ(a[i].objects[j].box, b[i].objects[j].box);
+    }
+  }
+}
+
+TEST(SyntheticScene, SeedsChangeTheScene) {
+  const auto a = SyntheticScene::generate_all(test_scene(1));
+  const auto b = SyntheticScene::generate_all(test_scene(2));
+  // Same population targets, different object placement.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+    if (a[i].objects.size() != b[i].objects.size() ||
+        (a[i].objects.size() > 0 && !(a[i].objects[0].box == b[i].objects[0].box)))
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticScene, ObjectsStayInsideFrame) {
+  const SceneSpec spec = test_scene(11);
+  const common::Rect bounds{0, 0, spec.frame.width, spec.frame.height};
+  for (const auto& frame : SyntheticScene::generate_all(spec))
+    for (const auto& obj : frame.objects) {
+      EXPECT_TRUE(bounds.contains(obj.box))
+          << "frame " << frame.frame_index << " box " << obj.box;
+      EXPECT_GT(obj.box.area(), 0);
+    }
+}
+
+TEST(SyntheticScene, PopulationTracksTarget) {
+  const SceneSpec spec = panda4k_scene(1);  // 123 people nominal
+  common::RunningStats population;
+  SyntheticScene scene(spec);
+  for (int i = 0; i < spec.total_frames; ++i)
+    population.add(static_cast<double>(scene.next_frame().objects.size()));
+  EXPECT_NEAR(population.mean(), spec.base_population,
+              spec.base_population * 0.25);
+}
+
+TEST(SyntheticScene, RoiProportionNearCalibration) {
+  // Mean RoI proportion should land near the Table I target for each scene.
+  for (const int idx : {1, 4, 7}) {
+    const SceneSpec spec = panda4k_scene(idx);
+    common::RunningStats prop;
+    SyntheticScene scene(spec);
+    for (int i = 0; i < spec.total_frames; ++i)
+      prop.add(scene.next_frame().roi_proportion(spec.frame));
+    EXPECT_NEAR(prop.mean(), spec.roi_proportion, spec.roi_proportion * 0.45)
+        << "scene " << idx;
+  }
+}
+
+TEST(SyntheticScene, WorkloadFluctuates) {
+  // Fig. 3: the RoI proportion must vary over time, not sit at a constant.
+  const SceneSpec spec = panda4k_scene(2);
+  common::RunningStats prop;
+  SyntheticScene scene(spec);
+  for (int i = 0; i < spec.total_frames; ++i)
+    prop.add(scene.next_frame().roi_proportion(spec.frame));
+  EXPECT_GT(prop.stddev() / prop.mean(), 0.02);
+  EXPECT_GT(prop.max() / prop.mean(), 1.1);
+}
+
+TEST(SyntheticScene, ObjectsActuallyMove) {
+  const SceneSpec spec = test_scene(3);
+  SyntheticScene scene(spec);
+  const auto first = scene.next_frame();
+  FrameTruth later;
+  for (int i = 0; i < 10; ++i) later = scene.next_frame();
+  // Track object 0 across frames.
+  for (const auto& early_obj : first.objects) {
+    for (const auto& late_obj : later.objects) {
+      if (early_obj.id != late_obj.id) continue;
+      const auto c0 = early_obj.box.center();
+      const auto c1 = late_obj.box.center();
+      if (std::abs(c0.x - c1.x) + std::abs(c0.y - c1.y) > 5) return;  // moved
+    }
+  }
+  FAIL() << "no tracked object moved over 10 frames";
+}
+
+TEST(SyntheticScene, StationaryFractionRoughlyHolds) {
+  SceneSpec spec = test_scene(5);
+  spec.base_population = 200;
+  spec.total_frames = 60;
+  spec.stationary_fraction = 0.3;
+  SyntheticScene scene(spec);
+  FrameTruth prev = scene.next_frame();
+  // After burn-in, count objects that barely moved between two frames.
+  for (int i = 0; i < 30; ++i) prev = scene.next_frame();
+  const FrameTruth cur = scene.next_frame();
+  int matched = 0, still = 0;
+  for (const auto& a : prev.objects)
+    for (const auto& b : cur.objects) {
+      if (a.id != b.id) continue;
+      ++matched;
+      const auto ca = a.box.center();
+      const auto cb = b.box.center();
+      if (std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y) <= 4) ++still;
+    }
+  ASSERT_GT(matched, 50);
+  const double frac = static_cast<double>(still) / matched;
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.60);
+}
+
+TEST(SceneSpec, MeanObjectWidthMatchesProportion) {
+  const SceneSpec spec = panda4k_scene(1);
+  const double w = spec.mean_object_width();
+  // E[area] = aspect * E[w^2] = aspect * E[w]^2 * exp(sigma^2).
+  const double mean_area = spec.object_aspect * w * w *
+                           std::exp(spec.size_sigma * spec.size_sigma);
+  const double implied_prop = mean_area * spec.base_population /
+                              static_cast<double>(spec.frame.area());
+  EXPECT_NEAR(implied_prop, spec.roi_proportion, spec.roi_proportion * 0.02);
+}
+
+TEST(SceneCatalog, HasTenScenesMatchingTableI) {
+  const auto catalog = panda4k_catalog();
+  ASSERT_EQ(catalog.size(), 10u);
+  EXPECT_EQ(catalog[0].name, "University Canteen");
+  EXPECT_EQ(catalog[9].name, "Huaqiangbei");
+  EXPECT_EQ(catalog[9].base_population, 1730);
+  EXPECT_EQ(catalog[4].total_frames, 133);
+  for (const auto& spec : catalog) {
+    EXPECT_EQ(spec.frame, (common::Size{3840, 2160}));
+    EXPECT_EQ(spec.training_frames, 100);
+    EXPECT_GT(spec.evaluation_frames(), 0);
+    EXPECT_GT(spec.roi_proportion, 0.02);
+    EXPECT_LT(spec.roi_proportion, 0.16);
+  }
+}
+
+TEST(SceneCatalog, SceneLookupByIndex) {
+  EXPECT_EQ(panda4k_scene(3).name, "Xili Crossroad");
+  EXPECT_THROW(panda4k_scene(0), std::out_of_range);
+  EXPECT_THROW(panda4k_scene(11), std::out_of_range);
+}
+
+TEST(FrameTruth, RoiProportionComputation) {
+  FrameTruth truth;
+  truth.objects.push_back({0, common::Rect{0, 0, 10, 10}});
+  truth.objects.push_back({1, common::Rect{50, 50, 10, 10}});
+  EXPECT_DOUBLE_EQ(truth.roi_proportion({100, 100}), 0.02);
+  EXPECT_DOUBLE_EQ(FrameTruth{}.roi_proportion({100, 100}), 0.0);
+}
+
+}  // namespace
+}  // namespace tangram::video

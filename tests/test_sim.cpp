@@ -1,0 +1,138 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tangram::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(1.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, HandleNotPendingAfterFiring) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // harmless after firing
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (const double t : {1.0, 2.0, 3.0, 4.0})
+    sim.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ScheduleInClampsNegativeDelay) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_in(-3.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StepSkipsCancelled) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [&] { fired = true; });
+  h.cancel();
+  EXPECT_TRUE(sim.step());
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancellingInsideEventWorks) {
+  Simulator sim;
+  bool second_fired = false;
+  EventHandle second = sim.schedule_at(2.0, [&] { second_fired = true; });
+  sim.schedule_at(1.0, [&] { second.cancel(); });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToHorizonWhenIdle) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+}  // namespace
+}  // namespace tangram::sim

@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tangram::common {
+namespace {
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i - 20.0 + (i % 7);
+    all.add(x);
+    (i < 40 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Sampler, QuantileInterpolates) {
+  Sampler s;
+  for (const double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 15.0);  // interpolated
+}
+
+TEST(Sampler, QuantileThrowsOnEmpty) {
+  const Sampler s;
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+}
+
+TEST(Sampler, CdfMatchesDefinition) {
+  Sampler s;
+  for (const double x : {1.0, 2.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf(10.0), 1.0);
+}
+
+TEST(Sampler, CdfSeriesCoversRangeAndIsMonotone) {
+  Sampler s;
+  for (int i = 0; i < 100; ++i) s.add(i * 0.31);
+  const auto series = s.cdf_series(20);
+  ASSERT_EQ(series.size(), 20u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Sampler, AddAfterQuantileStillCorrect) {
+  Sampler s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 2.0);
+  s.add(3.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, BucketAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(3.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  h.add(-5.0);  // clamps to 0
+  h.add(50.0);  // clamps to 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[4], 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Histogram, BucketRange) {
+  Histogram h(0.0, 10.0, 5);
+  const auto [lo, hi] = h.bucket_range(2);
+  EXPECT_DOUBLE_EQ(lo, 4.0);
+  EXPECT_DOUBLE_EQ(hi, 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 1.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tangram::common

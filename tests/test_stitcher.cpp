@@ -1,0 +1,271 @@
+#include "core/stitcher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tangram::core {
+namespace {
+
+const common::Size kCanvas{1024, 1024};
+
+// Materialize the placed rectangles of a packing.
+std::vector<std::pair<int, common::Rect>> placed_rects(
+    const StitchResult& result, std::span<const common::Size> items) {
+  std::vector<std::pair<int, common::Rect>> out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Placement& p = result.placements[i];
+    out.emplace_back(p.canvas_index,
+                     common::Rect{p.position.x, p.position.y, items[i].width,
+                                  items[i].height});
+  }
+  return out;
+}
+
+void expect_valid_packing(const StitchResult& result,
+                          std::span<const common::Size> items,
+                          common::Size canvas) {
+  const common::Rect bounds{0, 0, canvas.width, canvas.height};
+  const auto rects = placed_rects(result, items);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_GE(rects[i].first, 0);
+    EXPECT_LT(rects[i].first, result.canvas_count);
+    EXPECT_TRUE(bounds.contains(rects[i].second))
+        << "item " << i << " at " << rects[i].second;
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      if (rects[i].first != rects[j].first) continue;
+      EXPECT_FALSE(common::overlaps(rects[i].second, rects[j].second))
+          << "items " << i << " and " << j << " overlap: " << rects[i].second
+          << " vs " << rects[j].second;
+    }
+  }
+}
+
+TEST(Stitcher, EmptyInputNoCanvases) {
+  const StitchSolver solver;
+  const auto result = solver.pack({}, kCanvas);
+  EXPECT_EQ(result.canvas_count, 0);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(Stitcher, SinglePatchAtOrigin) {
+  const StitchSolver solver;
+  const std::vector<common::Size> items{{300, 400}};
+  const auto result = solver.pack(items, kCanvas);
+  EXPECT_EQ(result.canvas_count, 1);
+  EXPECT_EQ(result.placements[0].canvas_index, 0);
+  EXPECT_EQ(result.placements[0].position, (common::Point{0, 0}));
+  EXPECT_NEAR(result.canvas_fill[0], 300.0 * 400 / (1024.0 * 1024), 1e-12);
+}
+
+TEST(Stitcher, TwoSmallPatchesShareCanvas) {
+  const StitchSolver solver;
+  const std::vector<common::Size> items{{500, 500}, {500, 500}};
+  const auto result = solver.pack(items, kCanvas);
+  EXPECT_EQ(result.canvas_count, 1);
+  expect_valid_packing(result, items, kCanvas);
+}
+
+TEST(Stitcher, FullCanvasPatchesGetOwnCanvases) {
+  const StitchSolver solver;
+  const std::vector<common::Size> items{{1024, 1024}, {1024, 1024}};
+  const auto result = solver.pack(items, kCanvas);
+  EXPECT_EQ(result.canvas_count, 2);
+  expect_valid_packing(result, items, kCanvas);
+}
+
+TEST(Stitcher, PerfectTilingFourQuadrants) {
+  const StitchSolver solver;
+  const std::vector<common::Size> items(4, {512, 512});
+  const auto result = solver.pack(items, kCanvas);
+  EXPECT_EQ(result.canvas_count, 1);
+  EXPECT_DOUBLE_EQ(result.canvas_fill[0], 1.0);
+  expect_valid_packing(result, items, kCanvas);
+}
+
+TEST(Stitcher, OversizedPatchThrows) {
+  const StitchSolver solver;
+  EXPECT_THROW((void)solver.pack(std::vector<common::Size>{{1500, 100}},
+                                 kCanvas),
+               std::invalid_argument);
+  EXPECT_THROW((void)solver.pack(std::vector<common::Size>{{100, 1500}},
+                                 kCanvas),
+               std::invalid_argument);
+}
+
+TEST(Stitcher, EmptyPatchThrows) {
+  const StitchSolver solver;
+  EXPECT_THROW((void)solver.pack(std::vector<common::Size>{{0, 10}}, kCanvas),
+               std::invalid_argument);
+  EXPECT_THROW((void)solver.pack(std::vector<common::Size>{{10, 10}},
+                                 common::Size{0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Stitcher, EfficiencyDefinition) {
+  const StitchSolver solver;
+  const std::vector<common::Size> items{{512, 1024}};
+  const auto result = solver.pack(items, kCanvas);
+  EXPECT_DOUBLE_EQ(result.efficiency(kCanvas, items), 0.5);
+}
+
+TEST(Stitcher, BssfBeatsOrMatchesOnePerCanvas) {
+  common::Rng rng(3, 7);
+  std::vector<common::Size> items;
+  for (int i = 0; i < 40; ++i)
+    items.push_back({rng.uniform_int(50, 500), rng.uniform_int(50, 500)});
+  const auto bssf = StitchSolver(PackHeuristic::kGuillotineBssf).pack(items, kCanvas);
+  const auto one = StitchSolver(PackHeuristic::kOnePerCanvas).pack(items, kCanvas);
+  EXPECT_LT(bssf.canvas_count, one.canvas_count);
+  EXPECT_EQ(one.canvas_count, 40);
+}
+
+TEST(Stitcher, SkylineHeuristicIsValid) {
+  common::Rng rng(11, 7);
+  std::vector<common::Size> items;
+  for (int i = 0; i < 80; ++i)
+    items.push_back({rng.uniform_int(30, 700), rng.uniform_int(30, 700)});
+  const auto result =
+      StitchSolver(PackHeuristic::kSkylineBottomLeft).pack(items, kCanvas);
+  expect_valid_packing(result, items, kCanvas);
+}
+
+TEST(Stitcher, SkylinePerfectTiling) {
+  const StitchSolver solver(PackHeuristic::kSkylineBottomLeft);
+  const std::vector<common::Size> items(4, {512, 512});
+  const auto result = solver.pack(items, kCanvas);
+  EXPECT_EQ(result.canvas_count, 1);
+  EXPECT_DOUBLE_EQ(result.canvas_fill[0], 1.0);
+}
+
+TEST(Stitcher, SkylineCompetitiveWithGuillotine) {
+  common::Rng rng(13, 7);
+  std::vector<common::Size> items;
+  for (int i = 0; i < 60; ++i)
+    items.push_back({rng.uniform_int(60, 500), rng.uniform_int(60, 500)});
+  const auto sky =
+      StitchSolver(PackHeuristic::kSkylineBottomLeft).pack(items, kCanvas);
+  const auto bssf =
+      StitchSolver(PackHeuristic::kGuillotineBssf).pack(items, kCanvas);
+  // Both competent heuristics land within one canvas of each other here.
+  EXPECT_LE(std::abs(sky.canvas_count - bssf.canvas_count), 2);
+}
+
+TEST(Stitcher, ShelfHeuristicIsValid) {
+  common::Rng rng(5, 7);
+  std::vector<common::Size> items;
+  for (int i = 0; i < 60; ++i)
+    items.push_back({rng.uniform_int(30, 700), rng.uniform_int(30, 700)});
+  const auto result =
+      StitchSolver(PackHeuristic::kShelfFirstFit).pack(items, kCanvas);
+  expect_valid_packing(result, items, kCanvas);
+}
+
+TEST(Stitcher, SortedModeStillValidAndUsuallyTighter) {
+  common::Rng rng(7, 7);
+  std::vector<common::Size> items;
+  for (int i = 0; i < 80; ++i)
+    items.push_back({rng.uniform_int(30, 600), rng.uniform_int(30, 600)});
+  const auto unsorted =
+      StitchSolver(PackHeuristic::kGuillotineBssf, false).pack(items, kCanvas);
+  const auto sorted =
+      StitchSolver(PackHeuristic::kGuillotineBssf, true).pack(items, kCanvas);
+  expect_valid_packing(sorted, items, kCanvas);
+  EXPECT_LE(sorted.canvas_count, unsorted.canvas_count + 1);
+}
+
+TEST(Stitcher, CanvasFillSumsToEfficiency) {
+  common::Rng rng(9, 7);
+  std::vector<common::Size> items;
+  for (int i = 0; i < 30; ++i)
+    items.push_back({rng.uniform_int(50, 400), rng.uniform_int(50, 400)});
+  const StitchSolver solver;
+  const auto result = solver.pack(items, kCanvas);
+  double fill_sum = 0;
+  for (const double f : result.canvas_fill) fill_sum += f;
+  EXPECT_NEAR(fill_sum / result.canvas_count,
+              result.efficiency(kCanvas, items), 1e-9);
+}
+
+// --- split_oversized --------------------------------------------------------
+
+TEST(SplitOversized, FittingPatchUntouched) {
+  const common::Rect patch{10, 10, 500, 700};
+  const auto tiles = split_oversized(patch, kCanvas);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], patch);
+}
+
+TEST(SplitOversized, WidePatchSplitsIntoColumns) {
+  const common::Rect patch{0, 0, 2100, 500};
+  const auto tiles = split_oversized(patch, kCanvas);
+  ASSERT_EQ(tiles.size(), 3u);
+  std::int64_t area = 0;
+  for (const auto& t : tiles) {
+    EXPECT_LE(t.width, kCanvas.width);
+    EXPECT_LE(t.height, kCanvas.height);
+    EXPECT_TRUE(patch.contains(t));
+    area += t.area();
+  }
+  EXPECT_EQ(area, patch.area());  // exact tiling, no gaps or overlap
+}
+
+TEST(SplitOversized, BothDimensionsSplit) {
+  const common::Rect patch{100, 100, 2500, 2500};
+  const auto tiles = split_oversized(patch, kCanvas);
+  EXPECT_EQ(tiles.size(), 9u);
+  std::int64_t area = 0;
+  for (const auto& t : tiles) area += t.area();
+  EXPECT_EQ(area, patch.area());
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    for (std::size_t j = i + 1; j < tiles.size(); ++j)
+      EXPECT_FALSE(common::overlaps(tiles[i], tiles[j]));
+}
+
+// --- property sweep ----------------------------------------------------------
+
+struct FuzzCase {
+  std::uint64_t seed;
+  PackHeuristic heuristic;
+};
+
+class StitcherProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(StitcherProperty, PackingAlwaysValid) {
+  const auto [seed, heuristic_index] = GetParam();
+  common::Rng rng(seed, 31);
+  const auto heuristic = static_cast<PackHeuristic>(heuristic_index);
+
+  const int n = rng.uniform_int(1, 150);
+  const common::Size canvas{rng.uniform_int(256, 2048),
+                            rng.uniform_int(256, 2048)};
+  std::vector<common::Size> items;
+  for (int i = 0; i < n; ++i)
+    items.push_back({rng.uniform_int(1, canvas.width),
+                     rng.uniform_int(1, canvas.height)});
+
+  const StitchSolver solver(heuristic, rng.bernoulli(0.5));
+  const auto result = solver.pack(items, canvas);
+
+  ASSERT_EQ(result.placements.size(), items.size());
+  ASSERT_EQ(result.canvas_fill.size(),
+            static_cast<std::size_t>(result.canvas_count));
+  expect_valid_packing(result, items, canvas);
+  // Efficiency is a proper fraction.
+  const double eff = result.efficiency(canvas, items);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LE(eff, 1.0 + 1e-12);
+  for (const double f : result.canvas_fill) {
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, StitcherProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(0, 15),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace tangram::core

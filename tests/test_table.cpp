@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tangram::common {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 22 "), std::string::npos);
+  // Rules above, below header, and at the bottom.
+  int rules = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line))
+    if (!line.empty() && line[0] == '+') ++rules;
+  EXPECT_EQ(rules, 3);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  std::ostringstream os;
+  table.print(os);
+  // Three columns rendered even though the row had one cell.
+  const std::string out = os.str();
+  const auto last_row = out.rfind("| only ");
+  ASSERT_NE(last_row, std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+TEST(PrintSeries, EmitsHeaderAndRows) {
+  std::ostringstream os;
+  print_series("demo", {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}}, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# demo"), std::string::npos);
+  EXPECT_NE(out.find("x\ty"), std::string::npos);
+  EXPECT_NE(out.find("1.0000\t2.0000"), std::string::npos);
+  EXPECT_NE(out.find("3.0000\t4.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tangram::common
