@@ -1,7 +1,8 @@
 // Micro-benchmarks (google-benchmark): throughput of the hot components —
-// the patch-stitching solver (re-run on every arrival, Algorithm 2 line 8),
-// adaptive frame partitioning, GMM background subtraction, the event queue,
-// and the latency estimator lookup.
+// the patch-stitching solver (batch and incremental), the per-arrival repack
+// loop of Algorithm 2 (from-scratch vs. StitchSession), adaptive frame
+// partitioning, GMM background subtraction, the event queue, and the latency
+// estimator lookup.
 
 #include <benchmark/benchmark.h>
 
@@ -41,6 +42,56 @@ void BM_StitchSolverPack(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_StitchSolverPack)->Arg(8)->Arg(32)->Arg(128);
+
+// One batch window of Algorithm 2 with the paper's literal line 8: after
+// every arrival, re-run the solver over the whole queue.  O(n^2) placements
+// per window.
+void BM_RepackFromScratch(benchmark::State& state) {
+  const auto patches =
+      random_patches(static_cast<std::size_t>(state.range(0)), 17);
+  const core::StitchSolver solver;
+  for (auto _ : state) {
+    int canvases = 0;
+    for (std::size_t k = 1; k <= patches.size(); ++k) {
+      auto result =
+          solver.pack(std::span(patches.data(), k), {1024, 1024});
+      canvases = result.canvas_count;
+    }
+    benchmark::DoNotOptimize(canvases);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RepackFromScratch)->Arg(16)->Arg(64)->Arg(256);
+
+// The same batch window through the incremental engine: one session add per
+// arrival, identical placements.  O(n) placements per window.
+void BM_RepackIncremental(benchmark::State& state) {
+  const auto patches =
+      random_patches(static_cast<std::size_t>(state.range(0)), 17);
+  for (auto _ : state) {
+    core::StitchSession session({1024, 1024});
+    for (const auto& patch : patches) session.add(patch);
+    benchmark::DoNotOptimize(session.canvas_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RepackIncremental)->Arg(16)->Arg(64)->Arg(256);
+
+// The invoker's un-admit path: tentative add, inspect, rollback.
+void BM_SessionCheckpointRollback(benchmark::State& state) {
+  const auto patches = random_patches(64, 19);
+  core::StitchSession session({1024, 1024});
+  for (const auto& patch : patches) session.add(patch);
+  const common::Size probe{333, 444};
+  for (auto _ : state) {
+    const auto checkpoint = session.checkpoint();
+    session.add(probe);
+    session.rollback(checkpoint);
+    benchmark::DoNotOptimize(session.canvas_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionCheckpointRollback);
 
 void BM_PartitionFrame(benchmark::State& state) {
   common::Rng rng(7, 3);

@@ -1,0 +1,120 @@
+#include "core/free_rect_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace tangram::core {
+
+FreeRectIndex::FreeRectIndex(common::Size canvas) : canvas_(canvas) {
+  if (canvas_.empty())
+    throw std::invalid_argument("FreeRectIndex: empty canvas");
+}
+
+FreeRectIndex::Placed FreeRectIndex::place(common::Size item) {
+  if (item.empty())
+    throw std::invalid_argument("FreeRectIndex: empty item");
+  if (item.width > canvas_.width || item.height > canvas_.height)
+    throw std::invalid_argument("FreeRectIndex: item exceeds canvas");
+
+  // Best-Short-Side-Fit over every free rect of every open canvas.
+  int best_canvas = -1;
+  std::size_t best_rect = 0;
+  int best_short_side = std::numeric_limits<int>::max();
+  for (std::size_t c = 0; c < canvases_.size(); ++c) {
+    for (std::size_t f = 0; f < canvases_[c].size(); ++f) {
+      const common::Rect& fr = canvases_[c][f];
+      if (fr.width < item.width || fr.height < item.height) continue;
+      const int short_side =
+          std::min(fr.width - item.width, fr.height - item.height);
+      if (short_side < best_short_side) {
+        best_short_side = short_side;
+        best_canvas = static_cast<int>(c);
+        best_rect = f;
+      }
+    }
+  }
+
+  if (best_canvas < 0) {
+    canvases_.push_back({common::Rect{0, 0, canvas_.width, canvas_.height}});
+    journal(Op::kOpenCanvas, 0);
+    best_canvas = static_cast<int>(canvases_.size()) - 1;
+    best_rect = 0;
+  }
+
+  auto& rects = canvases_[static_cast<std::size_t>(best_canvas)];
+  const common::Rect chosen = rects[best_rect];
+  rects.erase(rects.begin() + static_cast<std::ptrdiff_t>(best_rect));
+  journal(Op::kErase, static_cast<std::size_t>(best_canvas), best_rect,
+          chosen);
+
+  // Guillotine split of the residual L-shape on the shorter axis of the
+  // chosen free rectangle.
+  const int leftover_w = chosen.width - item.width;
+  const int leftover_h = chosen.height - item.height;
+  common::Rect right, top;
+  if (chosen.width < chosen.height) {
+    // Horizontal cut: right strip is short, bottom strip spans full width.
+    right = common::Rect{chosen.x + item.width, chosen.y, leftover_w,
+                         item.height};
+    top = common::Rect{chosen.x, chosen.y + item.height, chosen.width,
+                       leftover_h};
+  } else {
+    // Vertical cut: right strip spans full height.
+    right = common::Rect{chosen.x + item.width, chosen.y, leftover_w,
+                         chosen.height};
+    top = common::Rect{chosen.x, chosen.y + item.height, item.width,
+                       leftover_h};
+  }
+  if (!right.empty()) {
+    rects.push_back(right);
+    journal(Op::kPush, static_cast<std::size_t>(best_canvas));
+  }
+  if (!top.empty()) {
+    rects.push_back(top);
+    journal(Op::kPush, static_cast<std::size_t>(best_canvas));
+  }
+
+  return Placed{best_canvas, common::Point{chosen.x, chosen.y}};
+}
+
+void FreeRectIndex::journal(Op op, std::size_t canvas, std::size_t index,
+                            common::Rect rect) {
+  journal_.push_back(JournalEntry{op, next_id_++, canvas, index, rect});
+}
+
+void FreeRectIndex::rollback(Mark mark) {
+  // A mark is stale once the journal has been rewound past it — the regrown
+  // suffix holds different entries than the ones the mark's position meant.
+  const bool stale =
+      mark.size > journal_.size() ||
+      (mark.size > 0 && journal_[mark.size - 1].id != mark.last_id);
+  if (stale)
+    throw std::invalid_argument("FreeRectIndex::rollback: stale mark");
+  while (journal_.size() > mark.size) {
+    const JournalEntry entry = journal_.back();
+    journal_.pop_back();
+    switch (entry.op) {
+      case Op::kErase: {
+        auto& rects = canvases_[entry.canvas];
+        rects.insert(rects.begin() + static_cast<std::ptrdiff_t>(entry.index),
+                     entry.rect);
+        break;
+      }
+      case Op::kPush:
+        canvases_[entry.canvas].pop_back();
+        break;
+      case Op::kOpenCanvas:
+        canvases_.pop_back();
+        break;
+    }
+  }
+}
+
+void FreeRectIndex::clear() {
+  canvases_.clear();
+  journal_.clear();
+  // next_id_ keeps counting so pre-clear marks stay detectably stale.
+}
+
+}  // namespace tangram::core

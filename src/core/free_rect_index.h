@@ -1,0 +1,88 @@
+// FreeRectIndex: the free-rectangle store behind the guillotine packer.
+//
+// Tracks, per open canvas, the set of free rectangles left by previous
+// placements, and answers the Best-Short-Side-Fit query of Algorithm 2 over
+// all of them.  Placing an item erases the chosen free rect and splits the
+// residual L-shape along the shorter axis of the chosen rect — exactly the
+// split rule of the batch solver, so a sequence of place() calls reproduces
+// StitchSolver::pack() placements bit for bit (in queue order).
+//
+// Every mutation is recorded in an undo journal, giving O(1) checkpoint()
+// and rollback proportional only to the work done since the mark.  The
+// SLO-aware invoker leans on this to tentatively admit a patch, inspect the
+// resulting canvas count, and cheaply un-admit it when the SLO or the GPU
+// memory constraint would be violated (Algorithm 2 lines 11-17).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace tangram::core {
+
+class FreeRectIndex {
+ public:
+  // Journal position; pass back to rollback().  Marks are invalidated by any
+  // rollback to an earlier mark (they index a journal suffix that no longer
+  // exists); using one throws std::invalid_argument — the entry id pins the
+  // exact journal entry the mark sat on, so a rewound-and-regrown journal is
+  // detected rather than silently undone through the wrong mutations.
+  struct Mark {
+    std::size_t size = 0;
+    std::uint64_t last_id = 0;  // id of the entry below the mark
+  };
+
+  explicit FreeRectIndex(common::Size canvas);
+
+  // Best-Short-Side-Fit placement.  Scans canvases in open order and each
+  // canvas's free list in insertion order, keeping the first strict minimum
+  // of min(wc - wi, hc - hi); opens a new canvas when nothing fits.  The
+  // item must be non-empty and fit the canvas (checked).
+  struct Placed {
+    int canvas_index = -1;
+    common::Point position;
+  };
+  Placed place(common::Size item);
+
+  // O(1): records the current journal position.
+  [[nodiscard]] Mark mark() const {
+    return Mark{journal_.size(),
+                journal_.empty() ? 0 : journal_.back().id};
+  }
+
+  // Undo every mutation after `mark` (cost proportional to that work).
+  void rollback(Mark mark);
+
+  void clear();
+
+  [[nodiscard]] int canvas_count() const {
+    return static_cast<int>(canvases_.size());
+  }
+  [[nodiscard]] common::Size canvas() const { return canvas_; }
+  [[nodiscard]] const std::vector<common::Rect>& free_rects(int canvas) const {
+    return canvases_[static_cast<std::size_t>(canvas)];
+  }
+
+ private:
+  enum class Op { kErase, kPush, kOpenCanvas };
+  struct JournalEntry {
+    Op op;
+    std::uint64_t id = 0;      // monotone, never reused (staleness check)
+    std::size_t canvas = 0;
+    std::size_t index = 0;     // kErase: position the rect was removed from
+    common::Rect rect;         // kErase: the removed rect
+  };
+
+  void journal(Op op, std::size_t canvas, std::size_t index = 0,
+               common::Rect rect = {});
+
+  common::Size canvas_;
+  std::vector<std::vector<common::Rect>> canvases_;  // free lists
+  std::vector<JournalEntry> journal_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tangram::core

@@ -1,6 +1,7 @@
 #include "core/invoker.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace tangram::core {
@@ -12,49 +13,40 @@ SloAwareInvoker::SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
       solver_(solver),
       estimator_(estimator),
       config_(config),
-      invoke_(std::move(invoke)) {
+      invoke_(std::move(invoke)),
+      session_(config.canvas, solver.heuristic()) {
   if (!invoke_)
     throw std::invalid_argument("SloAwareInvoker: invoke callback required");
   if (config_.max_canvases < 1)
     throw std::invalid_argument("SloAwareInvoker: max_canvases must be >= 1");
 }
 
-void SloAwareInvoker::repack() {
-  std::vector<common::Size> sizes;
-  sizes.reserve(queue_.size());
-  for (const auto& p : queue_) sizes.push_back(p.size());
-  packing_ = solver_.pack(sizes, config_.canvas);
+void SloAwareInvoker::refresh_deadline_and_slack() {
   earliest_deadline_ = std::numeric_limits<double>::infinity();
   for (const auto& p : queue_)
     earliest_deadline_ = std::min(earliest_deadline_, p.deadline());
-  slack_ = queue_.empty() ? 0.0 : estimator_.slack(packing_.canvas_count);
+  slack_ = queue_.empty() ? 0.0 : estimator_.slack(session_.canvas_count());
+}
+
+void SloAwareInvoker::repack_full() {
+  session_.reset();
+  placements_.assign(queue_.size(), Placement{});
+  std::vector<common::Size> sizes;
+  sizes.reserve(queue_.size());
+  for (const auto& p : queue_) sizes.push_back(p.size());
+  for (const std::size_t idx : make_pack_order(sizes, solver_.sorted()))
+    placements_[idx] = session_.add(sizes[idx]);
+  ++full_repacks_;
+  refresh_deadline_and_slack();
 }
 
 void SloAwareInvoker::on_patch(Patch patch) {
   patch.arrival_time = sim_.now();
 
-  // Lines 4-8: remember the old canvas set, then repack with the new patch.
-  std::vector<Patch> old_queue = queue_;
-  queue_.push_back(std::move(patch));
-  repack();
-
-  // Lines 9-10.
-  const double t_remain = earliest_deadline_ - slack_;
-  const bool would_violate = t_remain < sim_.now();
-  const bool memory_overflow = packing_.canvas_count > config_.max_canvases;
-
-  if ((would_violate || memory_overflow) && !old_queue.empty()) {
-    // Lines 11-17: dispatch the old canvas set immediately; the new patch
-    // starts a fresh queue.
-    Patch newcomer = std::move(queue_.back());
-    queue_ = std::move(old_queue);
-    repack();
-    invoke_current();  // Invoke(C_old)
-    ++forced_flushes_;
-
-    queue_.clear();
-    queue_.push_back(std::move(newcomer));
-    repack();
+  if (solver_.sorted()) {
+    admit_resorting(std::move(patch));
+  } else {
+    admit_incremental(std::move(patch));
   }
 
   // A patch whose SLO is unmeetable even alone (t_remain already passed with
@@ -66,6 +58,76 @@ void SloAwareInvoker::on_patch(Patch patch) {
     return;
   }
   arm_timer();
+}
+
+void SloAwareInvoker::admit_incremental(Patch patch) {
+  // Lines 4-8: tentatively extend the canvas set with the new patch.  The
+  // checkpoint stands in for C_old — un-admitting is a rollback, not a
+  // second solver run.
+  const StitchSession::Checkpoint c_old = session_.checkpoint();
+  const double old_deadline = earliest_deadline_;
+  const bool had_queue = !queue_.empty();
+
+  // add() before the queue push: if the patch is invalid and add() throws,
+  // every piece of invoker state is still untouched and consistent.
+  const Placement placement = session_.add(patch.size());
+  queue_.push_back(std::move(patch));
+  placements_.push_back(placement);
+  ++incremental_adds_;
+  earliest_deadline_ = had_queue
+                           ? std::min(old_deadline, queue_.back().deadline())
+                           : queue_.back().deadline();
+  slack_ = estimator_.slack(session_.canvas_count());
+
+  // Lines 9-10.
+  const double t_remain = earliest_deadline_ - slack_;
+  const bool would_violate = t_remain < sim_.now();
+  const bool memory_overflow = session_.canvas_count() > config_.max_canvases;
+
+  if ((would_violate || memory_overflow) && had_queue) {
+    // Lines 11-17: dispatch the old canvas set immediately; the new patch
+    // starts a fresh queue.
+    Patch newcomer = std::move(queue_.back());
+    queue_.pop_back();
+    placements_.pop_back();
+    session_.rollback(c_old);
+    earliest_deadline_ = old_deadline;
+    slack_ = estimator_.slack(session_.canvas_count());
+    invoke_current();  // Invoke(C_old)
+    ++forced_flushes_;
+
+    const Placement fresh = session_.add(newcomer.size());
+    queue_.push_back(std::move(newcomer));
+    placements_.push_back(fresh);
+    ++incremental_adds_;
+    earliest_deadline_ = queue_.back().deadline();
+    slack_ = estimator_.slack(session_.canvas_count());
+  }
+}
+
+void SloAwareInvoker::admit_resorting(Patch patch) {
+  // Sort-by-area ablation: placement order is not arrival order, so the
+  // canvas set must be re-solved from scratch on every arrival (the paper's
+  // literal Algorithm 2 line 8).
+  std::vector<Patch> old_queue = queue_;
+  queue_.push_back(std::move(patch));
+  repack_full();
+
+  const double t_remain = earliest_deadline_ - slack_;
+  const bool would_violate = t_remain < sim_.now();
+  const bool memory_overflow = session_.canvas_count() > config_.max_canvases;
+
+  if ((would_violate || memory_overflow) && !old_queue.empty()) {
+    Patch newcomer = std::move(queue_.back());
+    queue_ = std::move(old_queue);
+    repack_full();
+    invoke_current();  // Invoke(C_old)
+    ++forced_flushes_;
+
+    queue_.clear();
+    queue_.push_back(std::move(newcomer));
+    repack_full();
+  }
 }
 
 void SloAwareInvoker::arm_timer() {
@@ -82,15 +144,16 @@ Batch SloAwareInvoker::build_batch() const {
   batch.earliest_deadline = earliest_deadline_;
   batch.slack_estimate = slack_;
   batch.total_patches = static_cast<int>(queue_.size());
-  batch.canvases.resize(static_cast<std::size_t>(packing_.canvas_count));
+  batch.canvases.resize(static_cast<std::size_t>(session_.canvas_count()));
   for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Placement& pl = packing_.placements[i];
+    const Placement& pl = placements_[i];
     auto& canvas = batch.canvases[static_cast<std::size_t>(pl.canvas_index)];
     canvas.patches.push_back(queue_[i]);
     canvas.positions.push_back(pl.position);
   }
+  const std::vector<double> fill = session_.canvas_fill();
   for (std::size_t c = 0; c < batch.canvases.size(); ++c)
-    batch.canvases[c].fill = packing_.canvas_fill[c];
+    batch.canvases[c].fill = fill[c];
   return batch;
 }
 
@@ -105,7 +168,8 @@ void SloAwareInvoker::invoke_current() {
   ++batches_invoked_;
 
   queue_.clear();
-  packing_ = StitchResult{};
+  placements_.clear();
+  session_.reset();
   earliest_deadline_ = 0.0;
   slack_ = 0.0;
 

@@ -6,8 +6,8 @@
 //
 //   1. append the patch to queue Q; adopt the earliest deadline as t_DDL and
 //      remember the previous canvas set C_old        (lines 4-7);
-//   2. re-run the Patch-stitching Solver on the whole queue and ask the
-//      Latency Estimator for T_slack of the new canvas set (lines 8-9);
+//   2. extend the packing with the new patch and ask the Latency Estimator
+//      for T_slack of the new canvas set (lines 8-9);
 //      t_remain = t_DDL - T_slack                    (line 10);
 //   3. if t_remain is already in the past — admitting this patch would make
 //      some patch miss its SLO — or the canvas set no longer fits the
@@ -15,6 +15,16 @@
 //      with just the new patch                       (lines 11-17);
 //   4. when the clock reaches t_remain, invoke the current canvas set as one
 //      batch                                          (lines 19-22).
+//
+// The paper's pseudocode re-runs the Patch-stitching Solver over the whole
+// queue on every arrival (line 8), an O(queue) step that makes a batch
+// window cost O(n^2) placements.  Because the guillotine packer is an online
+// algorithm in queue order, extending the previous packing by one patch via
+// StitchSession::add() yields the *identical* canvas set at O(free rects)
+// per arrival; step 3 un-admits the patch with a checkpoint/rollback instead
+// of a second from-scratch solve.  The from-scratch path survives only for
+// the sort-by-area packing ablation (where arrival order != placement
+// order), selected automatically when the solver has sorting enabled.
 
 #pragma once
 
@@ -87,11 +97,20 @@ class SloAwareInvoker {
     return batches_invoked_;
   }
   [[nodiscard]] std::size_t forced_flushes() const { return forced_flushes_; }
+  // Packing-engine counters: arrivals absorbed by the incremental fast path
+  // vs. from-scratch solver runs (sort-by-area ablation mode only).
+  [[nodiscard]] std::size_t incremental_adds() const {
+    return incremental_adds_;
+  }
+  [[nodiscard]] std::size_t full_repacks() const { return full_repacks_; }
 
  private:
-  void repack();              // solver + estimator over the current queue
-  void arm_timer();           // (re)schedule invocation at t_remain
-  void invoke_current();      // lines 19-22
+  void admit_incremental(Patch patch);  // session fast path
+  void admit_resorting(Patch patch);    // sorted-ablation from-scratch path
+  void repack_full();                   // rebuild session over queue_
+  void refresh_deadline_and_slack();
+  void arm_timer();                     // (re)schedule invocation at t_remain
+  void invoke_current();                // lines 19-22
   [[nodiscard]] Batch build_batch() const;
 
   sim::Simulator& sim_;
@@ -100,10 +119,11 @@ class SloAwareInvoker {
   InvokerConfig config_;
   InvokeFn invoke_;
 
-  std::vector<Patch> queue_;      // Q
-  StitchResult packing_;          // C (placements for queue_)
-  double earliest_deadline_ = 0;  // t_DDL
-  double slack_ = 0;              // T_slack for current packing
+  std::vector<Patch> queue_;          // Q
+  StitchSession session_;             // C (live canvas state)
+  std::vector<Placement> placements_; // parallel to queue_
+  double earliest_deadline_ = 0;      // t_DDL
+  double slack_ = 0;                  // T_slack for current packing
   sim::EventHandle timer_;
 
   common::Sampler canvas_efficiency_;
@@ -111,6 +131,8 @@ class SloAwareInvoker {
   common::Sampler batch_patch_count_;
   std::size_t batches_invoked_ = 0;
   std::size_t forced_flushes_ = 0;
+  std::size_t incremental_adds_ = 0;
+  std::size_t full_repacks_ = 0;
 };
 
 }  // namespace tangram::core

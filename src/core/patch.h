@@ -15,6 +15,9 @@ namespace tangram::core {
 struct Patch {
   std::uint64_t id = 0;
   int camera_id = 0;
+  // Stream the patch belongs to when flowing through the multi-stream
+  // TangramSystem facade (stamped by receive_patch); 0 otherwise.
+  int stream_id = 0;
   int frame_index = 0;
   common::Rect region;          // location in the native frame
   double generation_time = 0.0; // capture timestamp (s)

@@ -16,6 +16,271 @@ double StitchResult::efficiency(common::Size canvas,
          (static_cast<double>(canvas.area()) * canvas_count);
 }
 
+// --- StitchSession -----------------------------------------------------------
+
+StitchSession::StitchSession(common::Size canvas, PackHeuristic heuristic)
+    : canvas_(canvas), heuristic_(heuristic), free_rects_(canvas) {
+  if (canvas_.empty())
+    throw std::invalid_argument("StitchSession: empty canvas");
+}
+
+Placement StitchSession::add(common::Size item) {
+  if (item.empty())
+    throw std::invalid_argument("StitchSession: empty patch");
+  if (item.width > canvas_.width || item.height > canvas_.height)
+    throw std::invalid_argument(
+        "StitchSession: patch exceeds canvas (split_oversized first)");
+
+  Placement placement;
+  switch (heuristic_) {
+    case PackHeuristic::kGuillotineBssf:
+      placement = add_guillotine(item);
+      break;
+    case PackHeuristic::kShelfFirstFit:
+      placement = add_shelf(item);
+      break;
+    case PackHeuristic::kOnePerCanvas:
+      placement = add_one_per_canvas(item);
+      break;
+    case PackHeuristic::kSkylineBottomLeft:
+      placement = add_skyline(item);
+      break;
+  }
+
+  const auto canvas_index = static_cast<std::size_t>(placement.canvas_index);
+  if (canvas_index >= used_area_.size()) used_area_.resize(canvas_index + 1, 0);
+  used_area_[canvas_index] += item.area();
+  placements_.push_back(placement);
+  item_areas_.push_back(item.area());
+  item_seq_.push_back(next_seq_++);
+  return placement;
+}
+
+StitchSession::Checkpoint StitchSession::checkpoint() const {
+  Checkpoint cp;
+  cp.items = placements_.size();
+  cp.free_mark = free_rects_.mark();
+  cp.last_seq = item_seq_.empty() ? 0 : item_seq_.back();
+  switch (heuristic_) {
+    case PackHeuristic::kShelfFirstFit:
+      cp.undo_mark = shelf_undo_.size();
+      break;
+    case PackHeuristic::kSkylineBottomLeft:
+      cp.undo_mark = skyline_undo_.size();
+      break;
+    default:
+      break;
+  }
+  return cp;
+}
+
+void StitchSession::rollback(const Checkpoint& checkpoint) {
+  // A checkpoint is valid only while the placement history below it is
+  // untouched.  After a rollback past it, the history may have regrown with
+  // different items whose journal entries the old marks would misindex —
+  // the sequence number pins the exact placement the checkpoint sat on.
+  const bool stale =
+      checkpoint.items > placements_.size() ||
+      (checkpoint.items > 0 &&
+       item_seq_[checkpoint.items - 1] != checkpoint.last_seq);
+  if (stale)
+    throw std::invalid_argument("StitchSession::rollback: stale checkpoint");
+
+  while (placements_.size() > checkpoint.items) {
+    const auto canvas_index =
+        static_cast<std::size_t>(placements_.back().canvas_index);
+    used_area_[canvas_index] -= item_areas_.back();
+    placements_.pop_back();
+    item_areas_.pop_back();
+    item_seq_.pop_back();
+  }
+
+  switch (heuristic_) {
+    case PackHeuristic::kGuillotineBssf:
+      free_rects_.rollback(checkpoint.free_mark);
+      used_area_.resize(static_cast<std::size_t>(free_rects_.canvas_count()));
+      break;
+    case PackHeuristic::kShelfFirstFit:
+      while (shelf_undo_.size() > checkpoint.undo_mark) {
+        const ShelfUndo undo = shelf_undo_.back();
+        shelf_undo_.pop_back();
+        switch (undo.kind) {
+          case ShelfUndo::Kind::kExistingShelf:
+            shelf_canvases_[undo.canvas].shelves[undo.shelf].cursor_x =
+                undo.previous;
+            break;
+          case ShelfUndo::Kind::kNewShelf:
+            shelf_canvases_[undo.canvas].shelves.pop_back();
+            shelf_canvases_[undo.canvas].next_shelf_y = undo.previous;
+            break;
+          case ShelfUndo::Kind::kNewCanvas:
+            shelf_canvases_.pop_back();
+            break;
+        }
+      }
+      used_area_.resize(shelf_canvases_.size());
+      break;
+    case PackHeuristic::kOnePerCanvas:
+      used_area_.resize(checkpoint.items);
+      break;
+    case PackHeuristic::kSkylineBottomLeft:
+      while (skyline_undo_.size() > checkpoint.undo_mark) {
+        SkylineUndo undo = std::move(skyline_undo_.back());
+        skyline_undo_.pop_back();
+        if (undo.new_canvas) {
+          skylines_.pop_back();
+        } else {
+          skylines_[undo.canvas] = std::move(undo.previous);
+        }
+      }
+      used_area_.resize(skylines_.size());
+      break;
+  }
+}
+
+void StitchSession::reset() {
+  placements_.clear();
+  item_areas_.clear();
+  item_seq_.clear();  // next_seq_ keeps counting: old checkpoints stay stale
+  used_area_.clear();
+  free_rects_.clear();
+  shelf_canvases_.clear();
+  shelf_undo_.clear();
+  skylines_.clear();
+  skyline_undo_.clear();
+}
+
+std::vector<double> StitchSession::canvas_fill() const {
+  std::vector<double> fill(used_area_.size());
+  for (std::size_t c = 0; c < used_area_.size(); ++c)
+    fill[c] = static_cast<double>(used_area_[c]) /
+              static_cast<double>(canvas_.area());
+  return fill;
+}
+
+Placement StitchSession::add_guillotine(common::Size item) {
+  const FreeRectIndex::Placed placed = free_rects_.place(item);
+  return Placement{placed.canvas_index, placed.position};
+}
+
+Placement StitchSession::add_shelf(common::Size item) {
+  // First-fit across open canvases: first shelf with room, else a new shelf
+  // on the canvas, else a new canvas.
+  for (std::size_t c = 0; c < shelf_canvases_.size(); ++c) {
+    ShelfCanvas& cv = shelf_canvases_[c];
+    for (std::size_t s = 0; s < cv.shelves.size(); ++s) {
+      Shelf& shelf = cv.shelves[s];
+      if (shelf.height >= item.height &&
+          shelf.cursor_x + item.width <= canvas_.width) {
+        shelf_undo_.push_back(
+            ShelfUndo{ShelfUndo::Kind::kExistingShelf, c, s, shelf.cursor_x});
+        const Placement placement{static_cast<int>(c),
+                                  common::Point{shelf.cursor_x, shelf.y}};
+        shelf.cursor_x += item.width;
+        return placement;
+      }
+    }
+    if (cv.next_shelf_y + item.height <= canvas_.height) {
+      shelf_undo_.push_back(
+          ShelfUndo{ShelfUndo::Kind::kNewShelf, c, 0, cv.next_shelf_y});
+      cv.shelves.push_back(Shelf{cv.next_shelf_y, item.height, item.width});
+      const Placement placement{static_cast<int>(c),
+                                common::Point{0, cv.next_shelf_y}};
+      cv.next_shelf_y += item.height;
+      return placement;
+    }
+  }
+  shelf_undo_.push_back(ShelfUndo{ShelfUndo::Kind::kNewCanvas, 0, 0, 0});
+  shelf_canvases_.push_back(ShelfCanvas{});
+  ShelfCanvas& cv = shelf_canvases_.back();
+  cv.shelves.push_back(Shelf{0, item.height, item.width});
+  cv.next_shelf_y = item.height;
+  return Placement{static_cast<int>(shelf_canvases_.size()) - 1,
+                   common::Point{0, 0}};
+}
+
+Placement StitchSession::add_one_per_canvas(common::Size /*item*/) {
+  return Placement{static_cast<int>(placements_.size()), common::Point{0, 0}};
+}
+
+Placement StitchSession::add_skyline(common::Size item) {
+  // Where `item` would land on a skyline (bottom-left rule): at each
+  // segment's left edge the item rests on the max skyline level across its
+  // span; pick the feasible position with the lowest resulting top, then
+  // the smallest x.  Const scan — the snapshot for undo is only taken for
+  // the one canvas that actually commits.
+  const auto find_pos = [&](const std::vector<Segment>& sky)
+      -> std::optional<common::Point> {
+    int best_x = -1, best_y = -1;
+    for (std::size_t s = 0; s < sky.size(); ++s) {
+      const int x = sky[s].x;
+      if (x + item.width > canvas_.width) break;
+      int y = 0;
+      int span = item.width;
+      for (std::size_t t = s; t < sky.size() && span > 0; ++t) {
+        y = std::max(y, sky[t].y);
+        span -= sky[t].width;
+      }
+      if (y + item.height > canvas_.height) continue;
+      if (best_y < 0 || y < best_y || (y == best_y && x < best_x)) {
+        best_y = y;
+        best_x = x;
+      }
+    }
+    if (best_y < 0) return std::nullopt;
+    return common::Point{best_x, best_y};
+  };
+
+  // Carve the span [pos.x, pos.x + w) out of the skyline and replace it
+  // with one segment at the item's top, merging equal-height neighbours.
+  const auto commit = [&](std::vector<Segment>& sky, common::Point pos) {
+    std::vector<Segment> updated;
+    updated.reserve(sky.size() + 2);
+    const int x0 = pos.x, x1 = pos.x + item.width;
+    bool inserted = false;
+    for (const Segment& seg : sky) {
+      const int sx0 = seg.x, sx1 = seg.x + seg.width;
+      if (sx1 <= x0 || sx0 >= x1) {
+        updated.push_back(seg);
+        continue;
+      }
+      if (sx0 < x0) updated.push_back(Segment{sx0, x0 - sx0, seg.y});
+      if (!inserted) {
+        updated.push_back(Segment{x0, item.width, pos.y + item.height});
+        inserted = true;
+      }
+      if (sx1 > x1) updated.push_back(Segment{x1, sx1 - x1, seg.y});
+    }
+    std::vector<Segment> merged;
+    for (const Segment& seg : updated) {
+      if (!merged.empty() && merged.back().y == seg.y &&
+          merged.back().x + merged.back().width == seg.x) {
+        merged.back().width += seg.width;
+      } else {
+        merged.push_back(seg);
+      }
+    }
+    sky = std::move(merged);
+  };
+
+  for (std::size_t c = 0; c < skylines_.size(); ++c) {
+    if (const auto pos = find_pos(skylines_[c])) {
+      skyline_undo_.push_back(SkylineUndo{false, c, skylines_[c]});
+      commit(skylines_[c], *pos);
+      return Placement{static_cast<int>(c), *pos};
+    }
+  }
+  skylines_.push_back({Segment{0, canvas_.width, 0}});
+  skyline_undo_.push_back(
+      SkylineUndo{true, skylines_.size() - 1, {}});
+  // A fresh canvas always fits a validated item.
+  const auto pos = find_pos(skylines_.back());
+  commit(skylines_.back(), *pos);
+  return Placement{static_cast<int>(skylines_.size()) - 1, *pos};
+}
+
+// --- StitchSolver ------------------------------------------------------------
+
 namespace {
 
 void validate(std::span<const common::Size> items, common::Size canvas) {
@@ -30,11 +295,13 @@ void validate(std::span<const common::Size> items, common::Size canvas) {
   }
 }
 
-std::vector<std::size_t> make_order(std::span<const common::Size> items,
-                                    bool sort_desc) {
+}  // namespace
+
+std::vector<std::size_t> make_pack_order(std::span<const common::Size> items,
+                                         bool sort_by_area_desc) {
   std::vector<std::size_t> order(items.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  if (sort_desc) {
+  if (sort_by_area_desc) {
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
                        return items[a].area() > items[b].area();
@@ -43,277 +310,27 @@ std::vector<std::size_t> make_order(std::span<const common::Size> items,
   return order;
 }
 
-void fill_canvas_stats(StitchResult& result,
-                       std::span<const common::Size> items,
-                       common::Size canvas) {
-  result.canvas_fill.assign(static_cast<std::size_t>(result.canvas_count),
-                            0.0);
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    const auto c = static_cast<std::size_t>(result.placements[i].canvas_index);
-    result.canvas_fill[c] += static_cast<double>(items[i].area());
-  }
-  for (auto& f : result.canvas_fill)
-    f /= static_cast<double>(canvas.area());
-}
-
-}  // namespace
-
 StitchResult StitchSolver::pack(std::span<const common::Size> items,
                                 common::Size canvas) const {
   validate(items, canvas);
-  const std::vector<std::size_t> order = make_order(items, sort_desc_);
-  StitchResult result;
-  switch (heuristic_) {
-    case PackHeuristic::kGuillotineBssf:
-      result = pack_guillotine(items, canvas, order);
-      break;
-    case PackHeuristic::kShelfFirstFit:
-      result = pack_shelf(items, canvas, order);
-      break;
-    case PackHeuristic::kOnePerCanvas:
-      result = pack_one_per_canvas(items);
-      break;
-    case PackHeuristic::kSkylineBottomLeft:
-      result = pack_skyline(items, canvas, order);
-      break;
-  }
-  fill_canvas_stats(result, items, canvas);
-  return result;
-}
+  const std::vector<std::size_t> order = make_pack_order(items, sort_desc_);
 
-StitchResult StitchSolver::pack_guillotine(
-    std::span<const common::Size> items, common::Size canvas,
-    std::span<const std::size_t> order) const {
+  StitchSession session(canvas, heuristic_);
   StitchResult result;
   result.placements.assign(items.size(), Placement{});
-
-  // Free rectangles per canvas; coordinates are canvas-local.
-  std::vector<std::vector<common::Rect>> free_rects;
-
-  for (const std::size_t idx : order) {
-    const common::Size item = items[idx];
-
-    // Best-Short-Side-Fit over every free rect of every open canvas.
-    int best_canvas = -1;
-    std::size_t best_rect = 0;
-    int best_short_side = std::numeric_limits<int>::max();
-    for (std::size_t c = 0; c < free_rects.size(); ++c) {
-      for (std::size_t f = 0; f < free_rects[c].size(); ++f) {
-        const common::Rect& fr = free_rects[c][f];
-        if (fr.width < item.width || fr.height < item.height) continue;
-        const int short_side =
-            std::min(fr.width - item.width, fr.height - item.height);
-        if (short_side < best_short_side) {
-          best_short_side = short_side;
-          best_canvas = static_cast<int>(c);
-          best_rect = f;
-        }
-      }
-    }
-
-    if (best_canvas < 0) {
-      // Line 36: open a new blank canvas.
-      free_rects.push_back({common::Rect{0, 0, canvas.width, canvas.height}});
-      best_canvas = static_cast<int>(free_rects.size()) - 1;
-      best_rect = 0;
-      best_short_side = std::min(canvas.width - item.width,
-                                 canvas.height - item.height);
-    }
-
-    auto& rects = free_rects[static_cast<std::size_t>(best_canvas)];
-    const common::Rect chosen = rects[best_rect];
-    rects.erase(rects.begin() + static_cast<std::ptrdiff_t>(best_rect));
-
-    // Line 31: place at the free rect's origin corner.
-    result.placements[idx] =
-        Placement{best_canvas, common::Point{chosen.x, chosen.y}};
-
-    // Lines 32-33: guillotine split of the residual L-shape on the shorter
-    // axis of the chosen free rectangle.
-    const int leftover_w = chosen.width - item.width;
-    const int leftover_h = chosen.height - item.height;
-    common::Rect right, top;
-    if (chosen.width < chosen.height) {
-      // Horizontal cut: right strip is short, bottom strip spans full width.
-      right = common::Rect{chosen.x + item.width, chosen.y, leftover_w,
-                           item.height};
-      top = common::Rect{chosen.x, chosen.y + item.height, chosen.width,
-                         leftover_h};
-    } else {
-      // Vertical cut: right strip spans full height.
-      right = common::Rect{chosen.x + item.width, chosen.y, leftover_w,
-                           chosen.height};
-      top = common::Rect{chosen.x, chosen.y + item.height, item.width,
-                         leftover_h};
-    }
-    if (!right.empty()) rects.push_back(right);
-    if (!top.empty()) rects.push_back(top);
-  }
-
-  result.canvas_count = static_cast<int>(free_rects.size());
-  return result;
-}
-
-StitchResult StitchSolver::pack_shelf(std::span<const common::Size> items,
-                                      common::Size canvas,
-                                      std::span<const std::size_t> order) const {
-  StitchResult result;
-  result.placements.assign(items.size(), Placement{});
-
-  struct Shelf {
-    int y = 0;
-    int height = 0;
-    int cursor_x = 0;
-  };
-  struct Canvas {
-    std::vector<Shelf> shelves;
-    int next_shelf_y = 0;
-  };
-  std::vector<Canvas> canvases;
-
-  for (const std::size_t idx : order) {
-    const common::Size item = items[idx];
-    bool placed = false;
-    for (std::size_t c = 0; c < canvases.size() && !placed; ++c) {
-      Canvas& cv = canvases[c];
-      // First shelf with room (first-fit).
-      for (auto& shelf : cv.shelves) {
-        if (shelf.height >= item.height &&
-            shelf.cursor_x + item.width <= canvas.width) {
-          result.placements[idx] = Placement{
-              static_cast<int>(c), common::Point{shelf.cursor_x, shelf.y}};
-          shelf.cursor_x += item.width;
-          placed = true;
-          break;
-        }
-      }
-      // New shelf on this canvas.
-      if (!placed && cv.next_shelf_y + item.height <= canvas.height) {
-        cv.shelves.push_back(
-            Shelf{cv.next_shelf_y, item.height, item.width});
-        result.placements[idx] =
-            Placement{static_cast<int>(c), common::Point{0, cv.next_shelf_y}};
-        cv.next_shelf_y += item.height;
-        placed = true;
-      }
-    }
-    if (!placed) {
-      canvases.push_back(Canvas{});
-      Canvas& cv = canvases.back();
-      cv.shelves.push_back(Shelf{0, item.height, item.width});
-      cv.next_shelf_y = item.height;
-      result.placements[idx] = Placement{
-          static_cast<int>(canvases.size()) - 1, common::Point{0, 0}};
-    }
-  }
-
-  result.canvas_count = static_cast<int>(canvases.size());
-  return result;
-}
-
-StitchResult StitchSolver::pack_one_per_canvas(
-    std::span<const common::Size> items) const {
-  StitchResult result;
-  result.placements.assign(items.size(), Placement{});
-  for (std::size_t i = 0; i < items.size(); ++i)
-    result.placements[i] = Placement{static_cast<int>(i), common::Point{0, 0}};
-  result.canvas_count = static_cast<int>(items.size());
-  return result;
-}
-
-StitchResult StitchSolver::pack_skyline(std::span<const common::Size> items,
-                                        common::Size canvas,
-                                        std::span<const std::size_t> order) const {
-  StitchResult result;
-  result.placements.assign(items.size(), Placement{});
-
-  // Per canvas: the skyline as a list of (x, width, y) segments covering
-  // [0, canvas.width) left to right.
-  struct Segment {
-    int x, width, y;
-  };
-  std::vector<std::vector<Segment>> skylines;
-
-  // Try to place `item` at each segment's left edge (bottom-left rule):
-  // the item rests on the max skyline level across its span; pick the
-  // feasible position with the lowest resulting top, then the smallest x.
-  const auto try_place = [&](std::vector<Segment>& sky,
-                             common::Size item) -> std::optional<common::Point> {
-    int best_x = -1, best_y = -1;
-    for (std::size_t s = 0; s < sky.size(); ++s) {
-      const int x = sky[s].x;
-      if (x + item.width > canvas.width) break;
-      int y = 0;
-      int span = item.width;
-      for (std::size_t t = s; t < sky.size() && span > 0; ++t) {
-        y = std::max(y, sky[t].y);
-        span -= sky[t].width;
-      }
-      if (y + item.height > canvas.height) continue;
-      if (best_y < 0 || y < best_y || (y == best_y && x < best_x)) {
-        best_y = y;
-        best_x = x;
-      }
-    }
-    if (best_y < 0) return std::nullopt;
-
-    // Carve the span [best_x, best_x + w) out of the skyline and replace it
-    // with one segment at the item's top.
-    std::vector<Segment> updated;
-    updated.reserve(sky.size() + 2);
-    const int x0 = best_x, x1 = best_x + item.width;
-    bool inserted = false;
-    for (const Segment& seg : sky) {
-      const int sx0 = seg.x, sx1 = seg.x + seg.width;
-      if (sx1 <= x0 || sx0 >= x1) {
-        updated.push_back(seg);
-        continue;
-      }
-      if (sx0 < x0) updated.push_back(Segment{sx0, x0 - sx0, seg.y});
-      if (!inserted) {
-        updated.push_back(Segment{x0, item.width, best_y + item.height});
-        inserted = true;
-      }
-      if (sx1 > x1) updated.push_back(Segment{x1, sx1 - x1, seg.y});
-    }
-    // Merge adjacent segments at equal height.
-    std::vector<Segment> merged;
-    for (const Segment& seg : updated) {
-      if (!merged.empty() && merged.back().y == seg.y &&
-          merged.back().x + merged.back().width == seg.x) {
-        merged.back().width += seg.width;
-      } else {
-        merged.push_back(seg);
-      }
-    }
-    sky = std::move(merged);
-    return common::Point{best_x, best_y};
-  };
-
-  for (const std::size_t idx : order) {
-    const common::Size item = items[idx];
-    bool placed = false;
-    for (std::size_t c = 0; c < skylines.size() && !placed; ++c) {
-      if (auto pos = try_place(skylines[c], item)) {
-        result.placements[idx] = Placement{static_cast<int>(c), *pos};
-        placed = true;
-      }
-    }
-    if (!placed) {
-      skylines.push_back({Segment{0, canvas.width, 0}});
-      const auto pos = try_place(skylines.back(), item);
-      // A fresh canvas always fits a validated item.
-      result.placements[idx] =
-          Placement{static_cast<int>(skylines.size()) - 1, *pos};
-    }
-  }
-
-  result.canvas_count = static_cast<int>(skylines.size());
+  for (const std::size_t idx : order)
+    result.placements[idx] = session.add(items[idx]);
+  result.canvas_count = session.canvas_count();
+  result.canvas_fill = session.canvas_fill();
   return result;
 }
 
 std::vector<common::Rect> split_oversized(const common::Rect& patch,
                                           common::Size canvas) {
+  if (patch.empty())
+    throw std::invalid_argument("split_oversized: degenerate patch");
+  if (canvas.empty())
+    throw std::invalid_argument("split_oversized: degenerate canvas");
   if (patch.width <= canvas.width && patch.height <= canvas.height)
     return {patch};
   std::vector<common::Rect> tiles;

@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include <stdexcept>
+
 namespace tangram::core {
 
 TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
@@ -26,7 +28,23 @@ TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
       [this](Batch&& batch) { dispatch(std::move(batch)); });
 }
 
-void TangramSystem::receive_patch(Patch patch) {
+StreamId TangramSystem::register_stream(StreamConfig config) {
+  const auto id = static_cast<StreamId>(streams_.size());
+  StreamStats stats;
+  stats.name = config.name.empty() ? "stream-" + std::to_string(id)
+                                   : std::move(config.name);
+  stats.slo_s = config.slo_s;
+  streams_.push_back(std::move(stats));
+  return id;
+}
+
+void TangramSystem::receive_patch(StreamId stream, Patch patch) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size())
+    throw std::out_of_range("TangramSystem: unknown stream id");
+  patch.stream_id = stream;
+  const double slo = streams_[static_cast<std::size_t>(stream)].slo_s;
+  if (slo > 0.0) patch.slo = slo;
+
   if (patch.region.width > config_.canvas.width ||
       patch.region.height > config_.canvas.height) {
     const auto tiles = split_oversized(patch.region, config_.canvas);
@@ -34,16 +52,33 @@ void TangramSystem::receive_patch(Patch patch) {
       Patch sub = patch;
       sub.region = tile;
       sub.bytes = patch.bytes / tiles.size();
-      invoker_->on_patch(std::move(sub));
+      submit(stream, std::move(sub));
     }
     return;
   }
+  submit(stream, std::move(patch));
+}
+
+void TangramSystem::receive_patch(Patch patch) {
+  if (streams_.empty()) register_stream(StreamConfig{"default", 0.0});
+  receive_patch(StreamId{0}, std::move(patch));
+}
+
+void TangramSystem::submit(StreamId stream, Patch patch) {
+  ++streams_[static_cast<std::size_t>(stream)].patches_received;
   invoker_->on_patch(std::move(patch));
 }
 
 void TangramSystem::flush() { invoker_->flush(); }
 
 void TangramSystem::dispatch(Batch&& batch) {
+  // Queue-to-invoke latency is known the moment the batch forms; record it
+  // per stream before the function round-trip.
+  for (const auto& canvas : batch.canvases)
+    for (const auto& patch : canvas.patches)
+      streams_[static_cast<std::size_t>(patch.stream_id)].queue_to_invoke.add(
+          batch.invoke_time - patch.arrival_time);
+
   // Paper API 2: invoke(canvases) — one serverless call per batch.
   serverless::RequestSpec spec;
   spec.num_canvases = batch.canvas_count();
@@ -51,9 +86,16 @@ void TangramSystem::dispatch(Batch&& batch) {
   spec.num_items = batch.total_patches;
   platform_->invoke(spec, [this, batch = std::move(batch)](
                               const serverless::InvocationRecord& record) {
-    if (!on_result_) return;
-    for (const auto& canvas : batch.canvases)
-      for (const auto& patch : canvas.patches) on_result_(patch, record);
+    for (const auto& canvas : batch.canvases) {
+      for (const auto& patch : canvas.patches) {
+        auto& stats = streams_[static_cast<std::size_t>(patch.stream_id)];
+        ++stats.patches_completed;
+        stats.e2e_latency.add(record.finish_time - patch.generation_time);
+        if (record.finish_time > patch.deadline() + 1e-9)
+          ++stats.slo_violations;
+        if (on_result_) on_result_(patch, record);
+      }
+    }
   });
 }
 

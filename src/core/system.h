@@ -1,5 +1,5 @@
 // TangramSystem: the plug-and-play cloud-side facade from Section IV of the
-// paper.
+// paper, extended into a multi-stream scheduler core.
 //
 //   class Tangram(canvas_size) { receive_patch(...); invoke(...); }
 //
@@ -9,12 +9,24 @@
 // feed it patches, get per-patch inference completions back.  Swapping the
 // downstream model (detection -> pose estimation -> segmentation) is a
 // Config change; no scheduler code is touched.
+//
+// Beyond the paper's single camera, the facade multiplexes any number of
+// registered streams (cameras, sites, tenants) onto ONE shared invoker and
+// function platform: patches from all streams stitch onto the same canvases,
+// so cross-stream batching amortizes invocations exactly like cross-patch
+// batching does within one camera.  Each stream carries its own SLO class
+// and per-stream telemetry (completions, SLO misses, end-to-end latency,
+// queue-to-invoke latency).  The legacy single-stream calls keep working and
+// route to an implicit default stream.
 
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/stats.h"
 #include "core/estimator.h"
 #include "core/invoker.h"
 #include "core/patch.h"
@@ -23,6 +35,31 @@
 #include "sim/simulator.h"
 
 namespace tangram::core {
+
+using StreamId = int;
+
+struct StreamConfig {
+  std::string name;   // telemetry label; default "stream-<id>"
+  // SLO class applied to every patch of this stream (> 0 overrides whatever
+  // the patch arrived with; <= 0 keeps the per-patch SLO).
+  double slo_s = 0.0;
+};
+
+struct StreamStats {
+  std::string name;
+  double slo_s = 0.0;                 // 0 = per-patch SLOs
+  std::size_t patches_received = 0;   // after oversized-patch tiling
+  std::size_t patches_completed = 0;
+  std::size_t slo_violations = 0;
+  common::Sampler e2e_latency;        // capture -> inference finish
+  common::Sampler queue_to_invoke;    // scheduler arrival -> batch invoke
+
+  [[nodiscard]] double violation_rate() const {
+    return patches_completed ? static_cast<double>(slo_violations) /
+                                   static_cast<double>(patches_completed)
+                             : 0.0;
+  }
+};
 
 class TangramSystem {
  public:
@@ -42,8 +79,18 @@ class TangramSystem {
 
   TangramSystem(sim::Simulator& simulator, Config config, ResultFn on_result);
 
-  // Paper API 1: the scheduler receives a patch from an edge camera.
-  // Oversized patches are tiled to the canvas automatically.
+  // --- multi-stream API ------------------------------------------------------
+  // Register a stream; patches are then submitted against its id.  All
+  // streams share the invoker and platform, so their patches batch together.
+  StreamId register_stream(StreamConfig config = {});
+
+  // Paper API 1, stream-addressed: the scheduler receives a patch from one
+  // of the registered streams.  Oversized patches are tiled to the canvas
+  // automatically.  Throws std::out_of_range on an unknown stream id.
+  void receive_patch(StreamId stream, Patch patch);
+
+  // Legacy single-stream entry: routes to stream 0, registering a default
+  // stream on first use if none exists yet.
   void receive_patch(Patch patch);
 
   // Dispatch whatever is still queued (shutdown / end of stream).
@@ -51,6 +98,13 @@ class TangramSystem {
 
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+  [[nodiscard]] const StreamStats& stream_stats(StreamId stream) const {
+    return streams_.at(static_cast<std::size_t>(stream));
+  }
+  [[nodiscard]] const std::vector<StreamStats>& streams() const {
+    return streams_;
+  }
   [[nodiscard]] const SloAwareInvoker& invoker() const { return *invoker_; }
   [[nodiscard]] const serverless::FunctionPlatform& platform() const {
     return *platform_;
@@ -61,6 +115,7 @@ class TangramSystem {
   [[nodiscard]] double total_cost() const { return platform_->total_cost(); }
 
  private:
+  void submit(StreamId stream, Patch patch);
   void dispatch(Batch&& batch);
 
   Config config_;
@@ -68,6 +123,7 @@ class TangramSystem {
   std::unique_ptr<serverless::FunctionPlatform> platform_;
   std::unique_ptr<LatencyEstimator> estimator_;
   std::unique_ptr<SloAwareInvoker> invoker_;
+  std::vector<StreamStats> streams_;
 };
 
 }  // namespace tangram::core

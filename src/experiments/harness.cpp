@@ -186,6 +186,98 @@ RunResult run_end_to_end(const std::vector<const SceneTrace*>& cameras,
   return result;
 }
 
+common::Sampler MultiStreamResult::pooled_queue_to_invoke() const {
+  common::Sampler pooled;
+  for (const auto& stream : streams)
+    for (const double v : stream.queue_to_invoke.values()) pooled.add(v);
+  return pooled;
+}
+
+MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
+                                  const MultiStreamConfig& config) {
+  if (cameras.empty())
+    throw std::invalid_argument("run_multistream: no cameras");
+
+  sim::Simulator sim;
+  // Dedicated uplinks: each stream is an independent site (per-site cellular
+  // modems), so scale-out stresses the scheduler, not one shared pipe.
+  std::vector<std::unique_ptr<net::Link>> links;
+  links.reserve(cameras.size());
+  for (std::size_t i = 0; i < cameras.size(); ++i)
+    links.push_back(std::make_unique<net::Link>(sim, config.bandwidth_mbps));
+
+  core::TangramSystem::Config system_config;
+  system_config.canvas = config.canvas;
+  system_config.slack_sigma = config.slack_sigma;
+  system_config.heuristic = config.heuristic;
+  system_config.platform = config.platform;
+  system_config.function_latency = config.latency;
+  system_config.seed = config.seed;
+  core::TangramSystem system(sim, system_config, nullptr);
+
+  std::vector<core::StreamId> streams;
+  streams.reserve(cameras.size());
+  for (std::size_t cam = 0; cam < cameras.size(); ++cam) {
+    core::StreamConfig stream;
+    stream.name = "cam-" + std::to_string(cam);
+    stream.slo_s = cam < config.per_stream_slo.size()
+                       ? config.per_stream_slo[cam]
+                       : config.slo_s;
+    streams.push_back(system.register_stream(std::move(stream)));
+  }
+
+  MultiStreamResult result;
+  std::uint64_t next_patch_id = 1;
+  for (std::size_t cam = 0; cam < cameras.size(); ++cam) {
+    const SceneTrace& trace = *cameras[cam];
+    const double frame_interval = 1.0 / trace.spec.fps;
+    const double phase =
+        config.stagger_cameras
+            ? frame_interval * static_cast<double>(cam) /
+                  static_cast<double>(cameras.size())
+            : 0.0;
+
+    for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
+      const FrameRecord& frame = trace.eval_frame(i);
+      const double capture = phase + static_cast<double>(i) * frame_interval;
+      sim.schedule_at(
+          capture + config.edge_latency_s,
+          [&, cam, capture, &frame = frame]() {
+            for (std::size_t p = 0; p < frame.patches.size(); ++p) {
+              core::Patch patch;
+              patch.id = next_patch_id++;
+              patch.camera_id = static_cast<int>(cam);
+              patch.frame_index = frame.frame_index;
+              patch.region = frame.patches[p];
+              patch.generation_time = capture;
+              patch.bytes = frame.patch_bytes[p];
+              ++result.patches_sent;
+              links[cam]->send(patch.bytes, [&, cam, patch] {
+                system.receive_patch(streams[cam], patch);
+              });
+            }
+          });
+    }
+  }
+
+  sim.run();
+  system.flush();
+  sim.run();
+
+  result.streams = system.streams();
+  for (const auto& stream : result.streams) {
+    result.patches_completed += stream.patches_completed;
+    result.slo_violations += stream.slo_violations;
+  }
+  result.total_cost = system.total_cost();
+  result.invocations = system.platform().invocations();
+  result.batches = system.invoker().batches_invoked();
+  result.batch_canvases = system.invoker().batch_canvas_count();
+  result.canvas_efficiency = system.invoker().canvas_efficiency();
+  result.makespan_s = sim.now();
+  return result;
+}
+
 PerFrameCostResult per_frame_cost(const SceneTrace& trace, StrategyKind kind,
                                   const EndToEndConfig& config) {
   PerFrameCostResult result;

@@ -1,6 +1,6 @@
 // Experiment runners shared by the bench binaries.
 //
-// Two execution modes mirror the paper's evaluation:
+// Three execution modes:
 //  * per_frame_cost(): the Fig. 8 / Fig. 9 methodology — every frame is one
 //    request (Tangram 4x4 stitches the frame's patches onto canvases as a
 //    single request; Full/Masked send the whole frame; ELF triggers one
@@ -8,7 +8,12 @@
 //    SLO dynamics;
 //  * run_end_to_end(): the Fig. 12-14 methodology — cameras stream over a
 //    shared bandwidth-limited uplink into a live scheduler on the
-//    discrete-event simulator, with SLO-violation accounting.
+//    discrete-event simulator, with SLO-violation accounting;
+//  * run_multistream(): the scale-out scenario beyond the paper — N cameras
+//    registered as first-class streams on ONE TangramSystem facade (shared
+//    invoker + platform, cross-stream canvas stitching), with per-stream
+//    SLO classes and per-stream telemetry.  This is what
+//    bench_multistream_scale sweeps from 1 to 64 streams.
 
 #pragma once
 
@@ -17,6 +22,7 @@
 
 #include "baselines/strategies.h"
 #include "common/stats.h"
+#include "core/system.h"
 #include "experiments/trace.h"
 #include "serverless/platform.h"
 
@@ -91,6 +97,50 @@ struct RunResult {
 [[nodiscard]] RunResult run_end_to_end(
     const std::vector<const SceneTrace*>& cameras, StrategyKind kind,
     const EndToEndConfig& config);
+
+// --- multi-stream scale-out scenario ----------------------------------------
+
+struct MultiStreamConfig {
+  double bandwidth_mbps = 40.0;  // each stream's dedicated uplink
+  double slo_s = 1.0;            // default SLO class
+  common::Size canvas{1024, 1024};
+  double slack_sigma = 3.0;
+  core::PackHeuristic heuristic = core::PackHeuristic::kGuillotineBssf;
+  serverless::PlatformConfig platform;
+  serverless::LatencyModelParams latency;
+  double edge_latency_s = 0.02;  // on-edge partition + encode time
+  bool stagger_cameras = true;   // offset camera phases
+  // Override the SLO class of stream i; streams beyond the vector use slo_s.
+  std::vector<double> per_stream_slo;
+  std::uint64_t seed = 7;
+};
+
+struct MultiStreamResult {
+  std::vector<core::StreamStats> streams;  // per-stream telemetry
+  std::size_t patches_sent = 0;
+  std::size_t patches_completed = 0;
+  std::size_t slo_violations = 0;
+  double total_cost = 0.0;
+  std::size_t invocations = 0;
+  std::size_t batches = 0;
+  double makespan_s = 0.0;
+  common::Sampler batch_canvases;
+  common::Sampler canvas_efficiency;
+
+  [[nodiscard]] double violation_rate() const {
+    return patches_completed
+               ? static_cast<double>(slo_violations) / patches_completed
+               : 0.0;
+  }
+  // Queue-to-invoke latency pooled across all streams.
+  [[nodiscard]] common::Sampler pooled_queue_to_invoke() const;
+};
+
+// One camera per entry in `cameras` (entries may alias the same trace for
+// load scaling); camera i becomes stream i of a single shared TangramSystem.
+[[nodiscard]] MultiStreamResult run_multistream(
+    const std::vector<const SceneTrace*>& cameras,
+    const MultiStreamConfig& config);
 
 // Per-frame single-request accounting (no SLO dynamics).
 struct PerFrameCostResult {

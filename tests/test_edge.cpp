@@ -55,7 +55,9 @@ TEST(EdgeCamera, PatchIdsAreUniqueAndMonotone) {
   bool first = true;
   for (int i = 0; i < 20; ++i) {
     for (const auto& patch : edge.on_frame(scene.next_frame())) {
-      if (!first) EXPECT_GT(patch.id, last);
+      if (!first) {
+        EXPECT_GT(patch.id, last);
+      }
       last = patch.id;
       first = false;
     }

@@ -146,6 +146,51 @@ TEST_F(HarnessTest, PerCameraSloOverridesDefault) {
   EXPECT_LT(result.violation_rate(), 0.65);
 }
 
+// --- multi-stream scenario --------------------------------------------------
+
+TEST_F(HarnessTest, MultistreamCompletesEveryPatchWithPerStreamTelemetry) {
+  MultiStreamConfig config;
+  config.slo_s = 1.5;
+  const auto result = run_multistream({trace_, trace_, trace_}, config);
+  ASSERT_EQ(result.streams.size(), 3u);
+  EXPECT_EQ(result.patches_sent, 3 * total_patches());
+  EXPECT_EQ(result.patches_completed, result.patches_sent);
+  for (const auto& stream : result.streams) {
+    EXPECT_EQ(stream.patches_completed, total_patches()) << stream.name;
+    EXPECT_GT(stream.queue_to_invoke.count(), 0u) << stream.name;
+    EXPECT_GT(stream.e2e_latency.count(), 0u) << stream.name;
+  }
+  EXPECT_GT(result.total_cost, 0.0);
+  EXPECT_GT(result.batches, 0u);
+  EXPECT_EQ(result.pooled_queue_to_invoke().count(), result.patches_completed);
+}
+
+TEST_F(HarnessTest, MultistreamSharesBatchesAcrossStreams) {
+  MultiStreamConfig config;
+  config.slo_s = 1.5;
+  const auto one = run_multistream({trace_}, config);
+  const auto four = run_multistream({trace_, trace_, trace_, trace_}, config);
+  // Cross-stream stitching amortizes invocations: 4 streams cost well under
+  // 4x the single-stream invocation count.
+  EXPECT_LT(static_cast<double>(four.invocations),
+            3.0 * static_cast<double>(one.invocations));
+  EXPECT_EQ(four.patches_completed, 4 * one.patches_completed);
+}
+
+TEST_F(HarnessTest, MultistreamPerStreamSloClasses) {
+  MultiStreamConfig config;
+  config.slo_s = 10.0;                  // default very loose
+  config.per_stream_slo = {0.001, 10.0};  // stream 0 impossible to meet
+  const auto result = run_multistream({trace_, trace_}, config);
+  EXPECT_DOUBLE_EQ(result.streams[0].violation_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(result.streams[1].violation_rate(), 0.0);
+}
+
+TEST_F(HarnessTest, MultistreamRejectsEmptyCameraList) {
+  EXPECT_THROW((void)run_multistream({}, MultiStreamConfig{}),
+               std::invalid_argument);
+}
+
 TEST(HarnessNames, StrategyNamesAreStable) {
   EXPECT_EQ(to_string(StrategyKind::kTangram), "Tangram");
   EXPECT_EQ(to_string(StrategyKind::kFullFrame), "FullFrame");

@@ -195,6 +195,65 @@ TEST(Invoker, TelemetryAccumulates) {
   EXPECT_GT(f.invoker->canvas_efficiency().count(), 0u);
 }
 
+TEST(Invoker, IncrementalFastPathHandlesUnsortedSolver) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i) {
+    f.sim.schedule_at(0.01 * i, [&f, i] {
+      f.invoker->on_patch(f.make_patch(static_cast<std::uint64_t>(i),
+                                       {256, 256}, 0.01 * i, 0.9));
+    });
+  }
+  f.sim.run();
+  // Every arrival is absorbed by a session add; the from-scratch solver
+  // never runs for the default (unsorted) heuristic.
+  EXPECT_EQ(f.invoker->incremental_adds(), 6u);
+  EXPECT_EQ(f.invoker->full_repacks(), 0u);
+}
+
+TEST(Invoker, ForcedFlushReAdmitsNewcomerIncrementally) {
+  Fixture f(/*max_canvases=*/2);
+  for (int i = 0; i < 3; ++i) {
+    f.sim.schedule_at(0.1 * i, [&f, i] {
+      f.invoker->on_patch(f.make_patch(static_cast<std::uint64_t>(i),
+                                       {800, 800}, 0.1 * i, 2.0));
+    });
+  }
+  f.sim.run();
+  // Third arrival: tentative add, rollback, flush, re-add -> 4 session adds
+  // total, still no from-scratch repack.
+  EXPECT_EQ(f.invoker->forced_flushes(), 1u);
+  EXPECT_EQ(f.invoker->incremental_adds(), 4u);
+  EXPECT_EQ(f.invoker->full_repacks(), 0u);
+}
+
+TEST(Invoker, SortedSolverFallsBackToFullRepack) {
+  sim::Simulator sim;
+  auto model = deterministic_model();
+  LatencyEstimator::Config c;
+  c.max_profiled_batch = 10;
+  c.iterations = 50;
+  const LatencyEstimator estimator(model, {1024, 1024}, c);
+  std::vector<Batch> invoked;
+  SloAwareInvoker invoker(
+      sim, StitchSolver(PackHeuristic::kGuillotineBssf, /*sort=*/true),
+      estimator, InvokerConfig{}, [&](Batch&& b) { invoked.push_back(std::move(b)); });
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_at(0.01 * i, [&invoker, i] {
+      Patch p;
+      p.id = static_cast<std::uint64_t>(i);
+      p.region = {0, 0, 300 + 50 * i, 300};
+      p.generation_time = 0.01 * i;
+      p.slo = 1.0;
+      invoker.on_patch(p);
+    });
+  }
+  sim.run();
+  ASSERT_EQ(invoked.size(), 1u);
+  EXPECT_EQ(invoked[0].total_patches, 4);
+  EXPECT_EQ(invoker.incremental_adds(), 0u);
+  EXPECT_EQ(invoker.full_repacks(), 4u);  // one from-scratch solve per arrival
+}
+
 TEST(Invoker, RejectsBadConstruction) {
   sim::Simulator sim;
   auto model = deterministic_model();

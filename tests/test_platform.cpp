@@ -34,7 +34,8 @@ TEST(CostModel, MatchesHandComputedEqn1) {
 }
 
 TEST(CostModel, RejectsNegativeTime) {
-  EXPECT_THROW(invocation_cost(-1.0, ResourceConfig{}), std::invalid_argument);
+  EXPECT_THROW((void)invocation_cost(-1.0, ResourceConfig{}),
+               std::invalid_argument);
 }
 
 // --- platform ------------------------------------------------------------------

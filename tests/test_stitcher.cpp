@@ -196,6 +196,28 @@ TEST(SplitOversized, FittingPatchUntouched) {
   EXPECT_EQ(tiles[0], patch);
 }
 
+TEST(SplitOversized, PatchExactlyEqualToCanvasIsOneTile) {
+  const common::Rect patch{40, 60, kCanvas.width, kCanvas.height};
+  const auto tiles = split_oversized(patch, kCanvas);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], patch);
+}
+
+TEST(SplitOversized, DegeneratePatchThrows) {
+  EXPECT_THROW((void)split_oversized(common::Rect{0, 0, 0, 5000}, kCanvas),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_oversized(common::Rect{0, 0, 5000, 0}, kCanvas),
+               std::invalid_argument);
+  EXPECT_THROW((void)split_oversized(common::Rect{0, 0, -10, 50}, kCanvas),
+               std::invalid_argument);
+}
+
+TEST(SplitOversized, DegenerateCanvasThrows) {
+  EXPECT_THROW((void)split_oversized(common::Rect{0, 0, 100, 100},
+                                     common::Size{0, 1024}),
+               std::invalid_argument);
+}
+
 TEST(SplitOversized, WidePatchSplitsIntoColumns) {
   const common::Rect patch{0, 0, 2100, 500};
   const auto tiles = split_oversized(patch, kCanvas);

@@ -94,6 +94,107 @@ TEST(TangramSystem, SwappingTheFunctionChangesTiming) {
   EXPECT_GT(b.estimator().slack(4), a.estimator().slack(4));
 }
 
+// --- multi-stream facade ----------------------------------------------------
+
+TEST(TangramSystem, StreamsBatchTogetherOnSharedInvoker) {
+  sim::Simulator sim;
+  TangramSystem system(sim, quiet_config(), nullptr);
+  const StreamId a = system.register_stream({"north-gate", 0.0});
+  const StreamId b = system.register_stream({"south-gate", 0.0});
+  ASSERT_EQ(a, 0);
+  ASSERT_EQ(b, 1);
+  sim.schedule_at(0.0, [&] {
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      system.receive_patch(a, make_patch(i, {300, 300}, 0.0));
+      system.receive_patch(b, make_patch(10 + i, {300, 300}, 0.0));
+    }
+  });
+  sim.run();
+  // Cross-stream stitching: all six patches leave as ONE invocation.
+  EXPECT_EQ(system.platform().invocations(), 1u);
+  EXPECT_EQ(system.stream_stats(a).patches_completed, 3u);
+  EXPECT_EQ(system.stream_stats(b).patches_completed, 3u);
+  EXPECT_EQ(system.stream_stats(a).name, "north-gate");
+  EXPECT_GT(system.stream_stats(a).queue_to_invoke.count(), 0u);
+  EXPECT_GT(system.stream_stats(a).e2e_latency.count(), 0u);
+}
+
+TEST(TangramSystem, StreamSloClassOverridesPatchSlo) {
+  sim::Simulator sim;
+  std::vector<double> slos;
+  TangramSystem system(sim, quiet_config(),
+                       [&](const Patch& p, const serverless::InvocationRecord&) {
+                         slos.push_back(p.slo);
+                       });
+  const StreamId strict = system.register_stream({"strict", 0.5});
+  const StreamId loose = system.register_stream({"loose", 0.0});
+  sim.schedule_at(0.0, [&] {
+    system.receive_patch(strict, make_patch(1, {300, 300}, 0.0, /*slo=*/2.0));
+    system.receive_patch(loose, make_patch(2, {300, 300}, 0.0, /*slo=*/2.0));
+  });
+  sim.run();
+  ASSERT_EQ(slos.size(), 2u);
+  // Stream "strict" rewrites the SLO class; "loose" keeps the patch's own.
+  EXPECT_TRUE((slos[0] == 0.5 && slos[1] == 2.0) ||
+              (slos[0] == 2.0 && slos[1] == 0.5));
+}
+
+TEST(TangramSystem, PerStreamViolationTelemetry) {
+  sim::Simulator sim;
+  TangramSystem::Config config = quiet_config();
+  config.function_latency.overhead_s = 0.2;
+  TangramSystem system(sim, config, nullptr);
+  const StreamId hopeless = system.register_stream({"hopeless", 0.01});
+  const StreamId relaxed = system.register_stream({"relaxed", 10.0});
+  sim.schedule_at(0.0, [&] {
+    system.receive_patch(hopeless, make_patch(1, {300, 300}, 0.0));
+    system.receive_patch(relaxed, make_patch(2, {300, 300}, 0.0));
+  });
+  sim.run();
+  system.flush();
+  sim.run();
+  EXPECT_EQ(system.stream_stats(hopeless).slo_violations, 1u);
+  EXPECT_EQ(system.stream_stats(hopeless).patches_completed, 1u);
+  EXPECT_DOUBLE_EQ(system.stream_stats(hopeless).violation_rate(), 1.0);
+  EXPECT_EQ(system.stream_stats(relaxed).slo_violations, 0u);
+}
+
+TEST(TangramSystem, LegacyEntryRoutesToDefaultStream) {
+  sim::Simulator sim;
+  TangramSystem system(sim, quiet_config(), nullptr);
+  EXPECT_EQ(system.stream_count(), 0u);
+  sim.schedule_at(0.0,
+                  [&] { system.receive_patch(make_patch(1, {300, 300}, 0.0)); });
+  sim.run();
+  ASSERT_EQ(system.stream_count(), 1u);
+  EXPECT_EQ(system.stream_stats(0).name, "default");
+  EXPECT_EQ(system.stream_stats(0).patches_completed, 1u);
+}
+
+TEST(TangramSystem, UnknownStreamIdThrows) {
+  sim::Simulator sim;
+  TangramSystem system(sim, quiet_config(), nullptr);
+  EXPECT_THROW(system.receive_patch(StreamId{0}, make_patch(1, {300, 300}, 0.0)),
+               std::out_of_range);
+  (void)system.register_stream({});
+  EXPECT_THROW(system.receive_patch(StreamId{5}, make_patch(1, {300, 300}, 0.0)),
+               std::out_of_range);
+}
+
+TEST(TangramSystem, OversizedPatchCountsTilesOnItsStream) {
+  sim::Simulator sim;
+  TangramSystem system(sim, quiet_config(), nullptr);
+  const StreamId s = system.register_stream({"wide", 0.0});
+  Patch big = make_patch(1, {1, 1}, 0.0);
+  big.region = {100, 100, 2500, 600};
+  sim.schedule_at(0.0, [&] { system.receive_patch(s, big); });
+  sim.run();
+  system.flush();
+  sim.run();
+  EXPECT_EQ(system.stream_stats(s).patches_received, 3u);
+  EXPECT_EQ(system.stream_stats(s).patches_completed, 3u);
+}
+
 TEST(TangramSystem, FlushIsIdempotent) {
   sim::Simulator sim;
   std::size_t completed = 0;
