@@ -45,10 +45,12 @@ int main() {
     }
   }
 
+  // One shard per SLO class (the TangramSystem default): the admission
+  // router pins each site's streams to its class's shard at registration.
   const auto result = experiments::run_multistream(cameras, config);
 
-  std::cout << "\n--- fleet results (" << cameras.size()
-            << " cameras, one shared scheduler) ---\n";
+  std::cout << "\n--- fleet results (" << cameras.size() << " cameras, "
+            << result.shards << " invoker shards, one platform) ---\n";
   common::Table table({"Stream", "SLO (s)", "Patches", "Miss (%)",
                        "e2e p99 (s)", "q2i p99 (s)"});
   for (const auto& stream : result.streams) {
@@ -65,6 +67,17 @@ int main() {
             << "\n";
   std::cout << "serverless cost:      $" << result.total_cost << "\n";
   std::cout << "fleet SLO misses:     " << 100.0 * result.violation_rate()
+            << "%\n";
+
+  // Same fleet on the legacy single shared invoker, for contrast.
+  auto single_config = config;
+  single_config.sharding = core::ShardPolicy::single();
+  const auto single = experiments::run_multistream(cameras, single_config);
+  std::cout << "\n--- single-shard baseline ---\n";
+  std::cout << "batches invoked:      " << single.batches << " (mean "
+            << single.batch_canvases.mean() << " canvases)\n";
+  std::cout << "serverless cost:      $" << single.total_cost << "\n";
+  std::cout << "fleet SLO misses:     " << 100.0 * single.violation_rate()
             << "%\n";
   return 0;
 }

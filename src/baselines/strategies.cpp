@@ -1,6 +1,7 @@
 #include "baselines/strategies.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace tangram::baselines {
@@ -22,17 +23,27 @@ TangramStrategy::TangramStrategy(sim::Simulator& simulator,
     : platform_(platform),
       options_(options),
       on_done_(std::move(on_done)) {
+  // Same fail-fast contract as TangramSystem: an unschedulable GPU config
+  // (model + one canvas over VRAM) is a construction error, not a
+  // mid-simulation throw from FunctionPlatform::invoke.
+  const int max_batch = platform.max_canvases_per_batch(options_.canvas);
+  if (max_batch < 1)
+    throw std::invalid_argument(
+        "TangramStrategy: model plus one canvas exceeds the function's GPU "
+        "memory; shrink the canvas or provision more VRAM");
+
   core::LatencyEstimator::Config est_config;
   est_config.max_profiled_batch =
-      std::max(1, platform.max_canvases_per_batch(options_.canvas));
+      max_batch == std::numeric_limits<int>::max()
+          ? est_config.max_profiled_batch
+          : max_batch;
   est_config.sigma_multiplier = options_.slack_sigma_multiplier;
   estimator_ = std::make_unique<core::LatencyEstimator>(
       platform.latency_model(), options_.canvas, est_config);
 
   core::InvokerConfig inv_config;
   inv_config.canvas = options_.canvas;
-  inv_config.max_canvases =
-      std::max(1, platform.max_canvases_per_batch(options_.canvas));
+  inv_config.max_canvases = max_batch;
 
   invoker_ = std::make_unique<core::SloAwareInvoker>(
       simulator, core::StitchSolver(options_.heuristic), *estimator_,
@@ -54,16 +65,12 @@ TangramStrategy::TangramStrategy(sim::Simulator& simulator,
 
 void TangramStrategy::on_patch(const core::Patch& patch) {
   // Oversized patches (minimum-enclosing rectangles can outgrow a zone) are
-  // tiled down to canvas size at the scheduler boundary.
+  // tiled down to canvas size at the scheduler boundary, conserving bytes;
+  // fitting patches skip the split entirely.
   if (patch.region.width > options_.canvas.width ||
       patch.region.height > options_.canvas.height) {
-    const auto tiles = core::split_oversized(patch.region, options_.canvas);
-    for (const auto& tile : tiles) {
-      core::Patch sub = patch;
-      sub.region = tile;
-      sub.bytes = patch.bytes / tiles.size();
-      invoker_->on_patch(sub);
-    }
+    for (core::Patch& sub : core::split_patch(patch, options_.canvas))
+      invoker_->on_patch(std::move(sub));
     return;
   }
   invoker_->on_patch(patch);

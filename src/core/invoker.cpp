@@ -6,6 +6,19 @@
 
 namespace tangram::core {
 
+void InvokerStats::merge(const InvokerStats& other) {
+  for (const double v : other.canvas_efficiency.values())
+    canvas_efficiency.add(v);
+  for (const double v : other.batch_canvas_count.values())
+    batch_canvas_count.add(v);
+  for (const double v : other.batch_patch_count.values())
+    batch_patch_count.add(v);
+  batches_invoked += other.batches_invoked;
+  forced_flushes += other.forced_flushes;
+  incremental_adds += other.incremental_adds;
+  full_repacks += other.full_repacks;
+}
+
 SloAwareInvoker::SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
                                  const LatencyEstimator& estimator,
                                  InvokerConfig config, InvokeFn invoke)
@@ -36,7 +49,7 @@ void SloAwareInvoker::repack_full() {
   for (const auto& p : queue_) sizes.push_back(p.size());
   for (const std::size_t idx : make_pack_order(sizes, solver_.sorted()))
     placements_[idx] = session_.add(sizes[idx]);
-  ++full_repacks_;
+  ++stats_.full_repacks;
   refresh_deadline_and_slack();
 }
 
@@ -52,8 +65,12 @@ void SloAwareInvoker::on_patch(Patch patch) {
   // A patch whose SLO is unmeetable even alone (t_remain already passed with
   // a single-canvas batch) is dispatched immediately as a best effort — the
   // paper leaves this case implicit; waiting longer can only make it worse.
+  // Boundary convention (shared with the admit paths): t_remain == now is
+  // exactly on time — dispatching now still meets every deadline — so only a
+  // strictly-past t_remain counts as a violation; an exact-boundary arrival
+  // is dispatched by the timer, which arm_timer() fires at now.
   const double fresh_remain = earliest_deadline_ - slack_;
-  if (fresh_remain <= sim_.now()) {
+  if (fresh_remain < sim_.now()) {
     invoke_current();
     return;
   }
@@ -73,7 +90,7 @@ void SloAwareInvoker::admit_incremental(Patch patch) {
   const Placement placement = session_.add(patch.size());
   queue_.push_back(std::move(patch));
   placements_.push_back(placement);
-  ++incremental_adds_;
+  ++stats_.incremental_adds;
   earliest_deadline_ = had_queue
                            ? std::min(old_deadline, queue_.back().deadline())
                            : queue_.back().deadline();
@@ -94,12 +111,12 @@ void SloAwareInvoker::admit_incremental(Patch patch) {
     earliest_deadline_ = old_deadline;
     slack_ = estimator_.slack(session_.canvas_count());
     invoke_current();  // Invoke(C_old)
-    ++forced_flushes_;
+    ++stats_.forced_flushes;
 
     const Placement fresh = session_.add(newcomer.size());
     queue_.push_back(std::move(newcomer));
     placements_.push_back(fresh);
-    ++incremental_adds_;
+    ++stats_.incremental_adds;
     earliest_deadline_ = queue_.back().deadline();
     slack_ = estimator_.slack(session_.canvas_count());
   }
@@ -122,7 +139,7 @@ void SloAwareInvoker::admit_resorting(Patch patch) {
     queue_ = std::move(old_queue);
     repack_full();
     invoke_current();  // Invoke(C_old)
-    ++forced_flushes_;
+    ++stats_.forced_flushes;
 
     queue_.clear();
     queue_.push_back(std::move(newcomer));
@@ -162,10 +179,10 @@ void SloAwareInvoker::invoke_current() {
   if (queue_.empty()) return;
 
   Batch batch = build_batch();
-  batch_canvas_count_.add(static_cast<double>(batch.canvas_count()));
-  batch_patch_count_.add(static_cast<double>(batch.total_patches));
-  for (const auto& c : batch.canvases) canvas_efficiency_.add(c.fill);
-  ++batches_invoked_;
+  stats_.batch_canvas_count.add(static_cast<double>(batch.canvas_count()));
+  stats_.batch_patch_count.add(static_cast<double>(batch.total_patches));
+  for (const auto& c : batch.canvases) stats_.canvas_efficiency.add(c.fill);
+  ++stats_.batches_invoked;
 
   queue_.clear();
   placements_.clear();

@@ -53,6 +53,23 @@ struct PackedCanvas {
   double fill = 0.0;                     // used-area fraction
 };
 
+// Telemetry for one invoker.  Extracted into a value type so an InvokerPool
+// can aggregate the per-shard stats of its members (drives Figs. 10b, 13, 14
+// and the multi-stream sweep's shard comparison).
+struct InvokerStats {
+  common::Sampler canvas_efficiency;   // used-area fraction per canvas
+  common::Sampler batch_canvas_count;  // canvases per invoked batch
+  common::Sampler batch_patch_count;   // patches per invoked batch
+  std::size_t batches_invoked = 0;
+  std::size_t forced_flushes = 0;
+  // Packing-engine counters: arrivals absorbed by the incremental fast path
+  // vs. from-scratch solver runs (sort-by-area ablation mode only).
+  std::size_t incremental_adds = 0;
+  std::size_t full_repacks = 0;
+
+  void merge(const InvokerStats& other);
+};
+
 // A batch handed to the serverless function.
 struct Batch {
   std::vector<PackedCanvas> canvases;
@@ -84,25 +101,28 @@ class SloAwareInvoker {
   [[nodiscard]] std::size_t pending_patches() const { return queue_.size(); }
 
   // --- telemetry (drives Figs. 10b, 13, 14) ---------------------------------
+  [[nodiscard]] const InvokerStats& stats() const { return stats_; }
   [[nodiscard]] const common::Sampler& canvas_efficiency() const {
-    return canvas_efficiency_;
+    return stats_.canvas_efficiency;
   }
   [[nodiscard]] const common::Sampler& batch_canvas_count() const {
-    return batch_canvas_count_;
+    return stats_.batch_canvas_count;
   }
   [[nodiscard]] const common::Sampler& batch_patch_count() const {
-    return batch_patch_count_;
+    return stats_.batch_patch_count;
   }
   [[nodiscard]] std::size_t batches_invoked() const {
-    return batches_invoked_;
+    return stats_.batches_invoked;
   }
-  [[nodiscard]] std::size_t forced_flushes() const { return forced_flushes_; }
-  // Packing-engine counters: arrivals absorbed by the incremental fast path
-  // vs. from-scratch solver runs (sort-by-area ablation mode only).
+  [[nodiscard]] std::size_t forced_flushes() const {
+    return stats_.forced_flushes;
+  }
   [[nodiscard]] std::size_t incremental_adds() const {
-    return incremental_adds_;
+    return stats_.incremental_adds;
   }
-  [[nodiscard]] std::size_t full_repacks() const { return full_repacks_; }
+  [[nodiscard]] std::size_t full_repacks() const {
+    return stats_.full_repacks;
+  }
 
  private:
   void admit_incremental(Patch patch);  // session fast path
@@ -126,13 +146,7 @@ class SloAwareInvoker {
   double slack_ = 0;                  // T_slack for current packing
   sim::EventHandle timer_;
 
-  common::Sampler canvas_efficiency_;
-  common::Sampler batch_canvas_count_;
-  common::Sampler batch_patch_count_;
-  std::size_t batches_invoked_ = 0;
-  std::size_t forced_flushes_ = 0;
-  std::size_t incremental_adds_ = 0;
-  std::size_t full_repacks_ = 0;
+  InvokerStats stats_;
 };
 
 }  // namespace tangram::core

@@ -1,0 +1,97 @@
+#include "core/invoker_pool.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tangram::core {
+
+namespace {
+
+// Exact key for an SLO class: hexfloat round-trips every double bit-for-bit,
+// unlike std::to_string's fixed 6 decimals, which would silently alias
+// classes closer than 1e-6 onto one shard.
+std::string slo_class_key(double slo_s) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "slo=%a", slo_s);
+  return buf;
+}
+
+}  // namespace
+
+InvokerPool::InvokerPool(sim::Simulator& simulator, StitchSolver solver,
+                         const LatencyEstimator& estimator,
+                         InvokerConfig config, ShardPolicy policy,
+                         InvokeFn invoke)
+    : sim_(simulator),
+      solver_(solver),
+      estimator_(estimator),
+      config_(config),
+      policy_(std::move(policy)),
+      invoke_(std::move(invoke)) {
+  if (!invoke_)
+    throw std::invalid_argument("InvokerPool: invoke callback required");
+  if (policy_.kind == ShardPolicy::Kind::kHashStream && policy_.hash_shards < 1)
+    throw std::invalid_argument("InvokerPool: hash_shards must be >= 1");
+  if (policy_.kind == ShardPolicy::Kind::kCustom && !policy_.key_fn)
+    throw std::invalid_argument("InvokerPool: custom policy needs a key_fn");
+  // The legacy layout's one invoker exists from construction; reproduce that
+  // exactly so a single-shard pool is indistinguishable from the old code.
+  if (policy_.kind == ShardPolicy::Kind::kSingle) (void)shard_for_key("all");
+}
+
+std::string InvokerPool::key_for(StreamId stream,
+                                 const StreamConfig& config) const {
+  switch (policy_.kind) {
+    case ShardPolicy::Kind::kSingle:
+      return "all";
+    case ShardPolicy::Kind::kPerSloClass:
+      // slo_s <= 0 means "per-patch SLOs"; those streams share one shard.
+      return config.slo_s > 0.0 ? slo_class_key(config.slo_s)
+                                : "slo=per-patch";
+    case ShardPolicy::Kind::kHashStream:
+      return "hash=" + std::to_string(static_cast<unsigned>(stream) %
+                                      static_cast<unsigned>(
+                                          policy_.hash_shards));
+    case ShardPolicy::Kind::kCustom:
+      return policy_.key_fn(stream, config);
+  }
+  throw std::logic_error("InvokerPool: unknown shard policy");
+}
+
+int InvokerPool::shard_for_key(const std::string& key) {
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key) return static_cast<int>(i);
+  keys_.push_back(key);
+  shards_.push_back(std::make_unique<SloAwareInvoker>(
+      sim_, solver_, estimator_, config_,
+      [this](Batch&& batch) { invoke_(std::move(batch)); }));
+  return static_cast<int>(shards_.size()) - 1;
+}
+
+int InvokerPool::route(StreamId stream, const StreamConfig& config) {
+  return shard_for_key(key_for(stream, config));
+}
+
+void InvokerPool::on_patch(int shard, Patch patch) {
+  if (shard < 0 || static_cast<std::size_t>(shard) >= shards_.size())
+    throw std::out_of_range("InvokerPool: unknown shard index");
+  shards_[static_cast<std::size_t>(shard)]->on_patch(std::move(patch));
+}
+
+void InvokerPool::flush() {
+  for (const auto& shard : shards_) shard->flush();
+}
+
+std::size_t InvokerPool::pending_patches() const {
+  std::size_t pending = 0;
+  for (const auto& shard : shards_) pending += shard->pending_patches();
+  return pending;
+}
+
+InvokerStats InvokerPool::aggregate_stats() const {
+  InvokerStats stats;
+  for (const auto& shard : shards_) stats.merge(shard->stats());
+  return stats;
+}
+
+}  // namespace tangram::core

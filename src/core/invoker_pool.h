@@ -1,0 +1,130 @@
+// InvokerPool: N SloAwareInvoker shards behind an admission router.
+//
+// The paper's invoker batches every arrival into ONE queue, so a tight-SLO
+// stream stuck behind a loose-SLO backlog suffers head-of-line blocking: the
+// shared t_DDL is dragged down to the tightest deadline and every class pays
+// the tight class's forced flushes.  The pool shards the invoker layer —
+// by default one shard per SLO class — so each class batches against its own
+// deadline horizon while still sharing one serverless platform and ONE
+// offline-profiled latency estimator (profiling is a property of the
+// deployed function, not of a shard).
+//
+// Routing is decided ONCE, at stream-registration time: the admission router
+// maps a stream to a shard key, creates the shard on first sight of that
+// key, and the stream's patches are stamped onto that shard forever after.
+// Per-patch routing would split one stream's patches across shards and
+// destroy the within-stream batching the paper depends on.
+//
+// A pool with ShardPolicy::single() is byte-identical to the pre-pool
+// single-invoker layout: one shard, created eagerly, fed every patch in
+// arrival order (regression-tested in tests/test_invoker_pool.cpp).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/invoker.h"
+#include "core/patch.h"
+#include "core/stitcher.h"
+#include "sim/simulator.h"
+
+namespace tangram::core {
+
+using StreamId = int;
+
+struct StreamConfig {
+  std::string name;   // telemetry label; default "stream-<id>"
+  // SLO class applied to every patch of this stream (> 0 overrides whatever
+  // the patch arrived with; <= 0 keeps the per-patch SLO).
+  double slo_s = 0.0;
+};
+
+// How the admission router maps streams to shards.  Every policy reduces to
+// a string key; streams with equal keys share a shard, and shards are
+// created lazily per distinct key (except kSingle, whose one shard exists
+// from construction so the legacy layout is reproduced exactly).
+struct ShardPolicy {
+  enum class Kind {
+    kSingle,       // every stream on one shard (legacy single-invoker layout)
+    kPerSloClass,  // one shard per distinct SLO class (the default)
+    kHashStream,   // stream id modulo hash_shards
+    kCustom,       // key_fn decides (e.g. shard by expected canvas size)
+  };
+
+  Kind kind = Kind::kPerSloClass;
+  int hash_shards = 4;  // kHashStream only; must be >= 1
+  // kCustom only: distinct returned keys map to distinct shards.
+  std::function<std::string(StreamId, const StreamConfig&)> key_fn;
+
+  [[nodiscard]] static ShardPolicy single() {
+    return ShardPolicy{Kind::kSingle, 1, nullptr};
+  }
+  [[nodiscard]] static ShardPolicy per_slo_class() {
+    return ShardPolicy{Kind::kPerSloClass, 1, nullptr};
+  }
+  [[nodiscard]] static ShardPolicy hashed(int shards) {
+    return ShardPolicy{Kind::kHashStream, shards, nullptr};
+  }
+  [[nodiscard]] static ShardPolicy custom(
+      std::function<std::string(StreamId, const StreamConfig&)> key_fn) {
+    return ShardPolicy{Kind::kCustom, 1, std::move(key_fn)};
+  }
+};
+
+class InvokerPool {
+ public:
+  using InvokeFn = SloAwareInvoker::InvokeFn;
+
+  // `estimator` must outlive the pool; all shards share it.  Each shard gets
+  // its own StitchSolver copy (stateless) and its own canvas session.
+  InvokerPool(sim::Simulator& simulator, StitchSolver solver,
+              const LatencyEstimator& estimator, InvokerConfig config,
+              ShardPolicy policy, InvokeFn invoke);
+
+  // Admission router: resolve the shard for a stream registering with the
+  // given config, creating the shard on first sight of its key.  Returns the
+  // shard index the caller stamps on the stream.
+  [[nodiscard]] int route(StreamId stream, const StreamConfig& config);
+
+  // Feed a patch to the shard previously returned by route().
+  void on_patch(int shard, Patch patch);
+
+  // Force-invoke pending work on every shard, in shard-index order (creation
+  // order, so multi-shard flushes are deterministic).
+  void flush();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const SloAwareInvoker& shard(std::size_t index) const {
+    return *shards_.at(index);
+  }
+  [[nodiscard]] const std::string& shard_key(std::size_t index) const {
+    return keys_.at(index);
+  }
+  [[nodiscard]] const ShardPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::size_t pending_patches() const;
+
+  // Telemetry merged across every shard (the single-invoker view the
+  // harness and benches report).
+  [[nodiscard]] InvokerStats aggregate_stats() const;
+
+ private:
+  [[nodiscard]] std::string key_for(StreamId stream,
+                                    const StreamConfig& config) const;
+  [[nodiscard]] int shard_for_key(const std::string& key);  // find-or-create
+
+  sim::Simulator& sim_;
+  StitchSolver solver_;
+  const LatencyEstimator& estimator_;
+  InvokerConfig config_;
+  ShardPolicy policy_;
+  InvokeFn invoke_;
+
+  std::vector<std::string> keys_;  // parallel to shards_
+  std::vector<std::unique_ptr<SloAwareInvoker>> shards_;
+};
+
+}  // namespace tangram::core

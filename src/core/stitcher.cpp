@@ -348,4 +348,44 @@ std::vector<common::Rect> split_oversized(const common::Rect& patch,
   return tiles;
 }
 
+std::vector<std::size_t> apportion_bytes(std::size_t bytes,
+                                         const std::vector<common::Rect>& tiles) {
+  if (tiles.empty())
+    throw std::invalid_argument("apportion_bytes: no tiles");
+  unsigned __int128 total_area = 0;
+  for (const auto& tile : tiles) {
+    if (tile.empty())
+      throw std::invalid_argument("apportion_bytes: degenerate tile");
+    total_area += static_cast<unsigned __int128>(tile.area());
+  }
+  // Tile i receives floor(bytes * cum_area(i) / total) - floor(bytes *
+  // cum_area(i-1) / total): each prefix is an exact floor, so the shares
+  // telescope to `bytes` with every remainder byte landing on some tile.
+  std::vector<std::size_t> shares(tiles.size());
+  unsigned __int128 cum_area = 0;
+  unsigned __int128 assigned = 0;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    cum_area += static_cast<unsigned __int128>(tiles[i].area());
+    const unsigned __int128 upto =
+        static_cast<unsigned __int128>(bytes) * cum_area / total_area;
+    shares[i] = static_cast<std::size_t>(upto - assigned);
+    assigned = upto;
+  }
+  return shares;
+}
+
+std::vector<Patch> split_patch(const Patch& patch, common::Size canvas) {
+  if (patch.region.width <= canvas.width &&
+      patch.region.height <= canvas.height)
+    return {patch};
+  const auto tiles = split_oversized(patch.region, canvas);
+  const auto tile_bytes = apportion_bytes(patch.bytes, tiles);
+  std::vector<Patch> subs(tiles.size(), patch);
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    subs[i].region = tiles[i];
+    subs[i].bytes = tile_bytes[i];
+  }
+  return subs;
+}
+
 }  // namespace tangram::core

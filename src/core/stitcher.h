@@ -30,6 +30,7 @@
 
 #include "common/geometry.h"
 #include "core/free_rect_index.h"
+#include "core/patch.h"
 
 namespace tangram::core {
 
@@ -185,5 +186,20 @@ class StitchSolver {
 // (zero-area) patch or canvas.
 [[nodiscard]] std::vector<common::Rect> split_oversized(
     const common::Rect& patch, common::Size canvas);
+
+// Apportion an oversized patch's encoded bytes across its split tiles in
+// proportion to tile area, conserving every byte: the returned sizes sum
+// EXACTLY to `bytes` (cumulative rounding — no remainder is dropped the way
+// a naive bytes/tiles division would).  Throws std::invalid_argument on an
+// empty tile list or a degenerate (zero-area) tile.
+[[nodiscard]] std::vector<std::size_t> apportion_bytes(
+    std::size_t bytes, const std::vector<common::Rect>& tiles);
+
+// split_oversized + apportion_bytes over a whole Patch: each returned
+// sub-patch carries one tile and its byte share; all other metadata (ids,
+// stream, timestamps, SLO) is copied through.  A patch already fitting the
+// canvas comes back as the single untouched element.
+[[nodiscard]] std::vector<Patch> split_patch(const Patch& patch,
+                                             common::Size canvas);
 
 }  // namespace tangram::core

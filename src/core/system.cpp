@@ -1,36 +1,61 @@
 #include "core/system.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace tangram::core {
 
 TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
                              ResultFn on_result)
-    : config_(config), on_result_(std::move(on_result)) {
+    : config_(std::move(config)), on_result_(std::move(on_result)) {
   platform_ = std::make_unique<serverless::FunctionPlatform>(
       simulator, config_.platform, config_.function_latency, config_.seed);
 
+  // Fail fast on an unschedulable config: if even a single canvas does not
+  // fit next to the model weights, no batch can ever be invoked.  The old
+  // std::max(1, ...) clamp deferred this to a mid-simulation throw from
+  // FunctionPlatform::invoke.
+  const int max_batch = platform_->max_canvases_per_batch(config_.canvas);
+  if (max_batch < 1)
+    throw std::invalid_argument(
+        "TangramSystem: model (" +
+        std::to_string(config_.platform.model_gpu_gb) + " GB) plus one " +
+        std::to_string(config_.canvas.width) + "x" +
+        std::to_string(config_.canvas.height) +
+        " canvas exceeds the function's GPU memory (" +
+        std::to_string(config_.platform.resources.gpu_gb) +
+        " GB); shrink the canvas or provision more VRAM");
+
   // Offline profiling stage: run the estimator's 1000-iteration campaign
-  // against (a copy of) the deployed function's latency distribution.
+  // against (a copy of) the deployed function's latency distribution, one
+  // size per admissible batch.  An unconstrained GPU (canvas_gpu_gb == 0
+  // reports INT_MAX) falls back to the estimator config's range instead of
+  // an endless campaign; slack() extrapolates linearly past it.
   LatencyEstimator::Config est = config_.estimator;
   est.sigma_multiplier = config_.slack_sigma;
   est.max_profiled_batch =
-      std::max(1, platform_->max_canvases_per_batch(config_.canvas));
+      max_batch == std::numeric_limits<int>::max()
+          ? std::max(config_.estimator.max_profiled_batch, 1)
+          : max_batch;
   estimator_ = std::make_unique<LatencyEstimator>(platform_->latency_model(),
                                                   config_.canvas, est);
 
   InvokerConfig inv;
   inv.canvas = config_.canvas;
-  inv.max_canvases =
-      std::max(1, platform_->max_canvases_per_batch(config_.canvas));
-  invoker_ = std::make_unique<SloAwareInvoker>(
+  inv.max_canvases = max_batch;
+  pool_ = std::make_unique<InvokerPool>(
       simulator, StitchSolver(config_.heuristic), *estimator_, inv,
+      config_.sharding,
       [this](Batch&& batch) { dispatch(std::move(batch)); });
 }
 
 StreamId TangramSystem::register_stream(StreamConfig config) {
   const auto id = static_cast<StreamId>(streams_.size());
   StreamStats stats;
+  // Admission routing happens here, once per stream: every patch the stream
+  // ever submits lands on this shard.
+  stats.shard = pool_->route(id, config);
   stats.name = config.name.empty() ? "stream-" + std::to_string(id)
                                    : std::move(config.name);
   stats.slo_s = config.slo_s;
@@ -45,15 +70,12 @@ void TangramSystem::receive_patch(StreamId stream, Patch patch) {
   const double slo = streams_[static_cast<std::size_t>(stream)].slo_s;
   if (slo > 0.0) patch.slo = slo;
 
+  // Fitting patches (the common case) move straight through; only oversized
+  // ones pay the split + byte-apportion detour.
   if (patch.region.width > config_.canvas.width ||
       patch.region.height > config_.canvas.height) {
-    const auto tiles = split_oversized(patch.region, config_.canvas);
-    for (const auto& tile : tiles) {
-      Patch sub = patch;
-      sub.region = tile;
-      sub.bytes = patch.bytes / tiles.size();
+    for (Patch& sub : split_patch(patch, config_.canvas))
       submit(stream, std::move(sub));
-    }
     return;
   }
   submit(stream, std::move(patch));
@@ -65,11 +87,12 @@ void TangramSystem::receive_patch(Patch patch) {
 }
 
 void TangramSystem::submit(StreamId stream, Patch patch) {
-  ++streams_[static_cast<std::size_t>(stream)].patches_received;
-  invoker_->on_patch(std::move(patch));
+  auto& stats = streams_[static_cast<std::size_t>(stream)];
+  ++stats.patches_received;
+  pool_->on_patch(stats.shard, std::move(patch));
 }
 
-void TangramSystem::flush() { invoker_->flush(); }
+void TangramSystem::flush() { pool_->flush(); }
 
 void TangramSystem::dispatch(Batch&& batch) {
   // Queue-to-invoke latency is known the moment the batch forms; record it

@@ -11,24 +11,34 @@
 // Config change; no scheduler code is touched.
 //
 // Beyond the paper's single camera, the facade multiplexes any number of
-// registered streams (cameras, sites, tenants) onto ONE shared invoker and
-// function platform: patches from all streams stitch onto the same canvases,
-// so cross-stream batching amortizes invocations exactly like cross-patch
-// batching does within one camera.  Each stream carries its own SLO class
-// and per-stream telemetry (completions, SLO misses, end-to-end latency,
-// queue-to-invoke latency).  The legacy single-stream calls keep working and
-// route to an implicit default stream.
+// registered streams (cameras, sites, tenants) onto a shared InvokerPool and
+// ONE function platform: patches from streams routed to the same shard
+// stitch onto the same canvases, so cross-stream batching amortizes
+// invocations exactly like cross-patch batching does within one camera.
+// The pool's admission router assigns each stream a shard when it registers
+// (default: one shard per SLO class, cutting head-of-line blocking between
+// classes; see ShardPolicy in core/invoker_pool.h).  Each stream carries its
+// own SLO class and per-stream telemetry (completions, SLO misses,
+// end-to-end latency, queue-to-invoke latency).  The legacy single-stream
+// calls keep working and route to an implicit default stream.
+//
+// Construction fails fast with std::invalid_argument when the configured
+// model + one canvas already exceed the function's GPU memory (constraint
+// (5)) — a config that can never schedule a batch must not reach the
+// simulation and throw mid-run.
 
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/estimator.h"
 #include "core/invoker.h"
+#include "core/invoker_pool.h"
 #include "core/patch.h"
 #include "core/stitcher.h"
 #include "serverless/platform.h"
@@ -36,18 +46,12 @@
 
 namespace tangram::core {
 
-using StreamId = int;
-
-struct StreamConfig {
-  std::string name;   // telemetry label; default "stream-<id>"
-  // SLO class applied to every patch of this stream (> 0 overrides whatever
-  // the patch arrived with; <= 0 keeps the per-patch SLO).
-  double slo_s = 0.0;
-};
+// StreamId / StreamConfig live in core/invoker_pool.h (the routing layer).
 
 struct StreamStats {
   std::string name;
   double slo_s = 0.0;                 // 0 = per-patch SLOs
+  int shard = 0;                      // invoker-pool shard (router decision)
   std::size_t patches_received = 0;   // after oversized-patch tiling
   std::size_t patches_completed = 0;
   std::size_t slo_violations = 0;
@@ -70,6 +74,9 @@ class TangramSystem {
     serverless::PlatformConfig platform;
     serverless::LatencyModelParams function_latency;  // the deployed model
     LatencyEstimator::Config estimator;
+    // Invoker-pool layout; default shards by SLO class.  ShardPolicy::single()
+    // reproduces the legacy one-invoker layout byte-for-byte.
+    ShardPolicy sharding;
     std::uint64_t seed = 2024;
   };
 
@@ -105,7 +112,18 @@ class TangramSystem {
   [[nodiscard]] const std::vector<StreamStats>& streams() const {
     return streams_;
   }
-  [[nodiscard]] const SloAwareInvoker& invoker() const { return *invoker_; }
+  [[nodiscard]] const InvokerPool& pool() const { return *pool_; }
+  // Legacy single-invoker view: shard 0.  Exact for ShardPolicy::single();
+  // with more shards, use pool() for routed shards and aggregate telemetry.
+  // Lazy policies create shards at register_stream time, so this throws
+  // std::logic_error until the first stream exists.
+  [[nodiscard]] const SloAwareInvoker& invoker() const {
+    if (pool_->shard_count() == 0)
+      throw std::logic_error(
+          "TangramSystem::invoker(): no shard exists yet — register a "
+          "stream first, or configure ShardPolicy::single()");
+    return pool_->shard(0);
+  }
   [[nodiscard]] const serverless::FunctionPlatform& platform() const {
     return *platform_;
   }
@@ -121,8 +139,8 @@ class TangramSystem {
   Config config_;
   ResultFn on_result_;
   std::unique_ptr<serverless::FunctionPlatform> platform_;
-  std::unique_ptr<LatencyEstimator> estimator_;
-  std::unique_ptr<SloAwareInvoker> invoker_;
+  std::unique_ptr<LatencyEstimator> estimator_;  // shared by every shard
+  std::unique_ptr<InvokerPool> pool_;
   std::vector<StreamStats> streams_;
 };
 

@@ -193,6 +193,17 @@ common::Sampler MultiStreamResult::pooled_queue_to_invoke() const {
   return pooled;
 }
 
+std::pair<std::size_t, std::size_t> MultiStreamResult::class_completions_misses(
+    double slo_class) const {
+  std::size_t completed = 0, misses = 0;
+  for (const auto& stream : streams) {
+    if (stream.slo_s != slo_class) continue;
+    completed += stream.patches_completed;
+    misses += stream.slo_violations;
+  }
+  return {completed, misses};
+}
+
 MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
                                   const MultiStreamConfig& config) {
   if (cameras.empty())
@@ -212,6 +223,7 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   system_config.heuristic = config.heuristic;
   system_config.platform = config.platform;
   system_config.function_latency = config.latency;
+  system_config.sharding = config.sharding;
   system_config.seed = config.seed;
   core::TangramSystem system(sim, system_config, nullptr);
 
@@ -269,13 +281,25 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
     result.patches_completed += stream.patches_completed;
     result.slo_violations += stream.slo_violations;
   }
+  result.shards = system.pool().shard_count();
   result.total_cost = system.total_cost();
   result.invocations = system.platform().invocations();
-  result.batches = system.invoker().batches_invoked();
-  result.batch_canvases = system.invoker().batch_canvas_count();
-  result.canvas_efficiency = system.invoker().canvas_efficiency();
+  const core::InvokerStats invoker_stats = system.pool().aggregate_stats();
+  result.batches = invoker_stats.batches_invoked;
+  result.batch_canvases = invoker_stats.batch_canvas_count;
+  result.canvas_efficiency = invoker_stats.canvas_efficiency;
   result.makespan_s = sim.now();
   return result;
+}
+
+ShardedRunResult run_sharded(const std::vector<const SceneTrace*>& cameras,
+                             const MultiStreamConfig& config) {
+  MultiStreamConfig single_config = config;
+  single_config.sharding = core::ShardPolicy::single();
+  MultiStreamConfig sharded_config = config;
+  sharded_config.sharding = core::ShardPolicy::per_slo_class();
+  return ShardedRunResult{run_multistream(cameras, single_config),
+                          run_multistream(cameras, sharded_config)};
 }
 
 PerFrameCostResult per_frame_cost(const SceneTrace& trace, StrategyKind kind,

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/strategies.h"
@@ -112,11 +113,16 @@ struct MultiStreamConfig {
   bool stagger_cameras = true;   // offset camera phases
   // Override the SLO class of stream i; streams beyond the vector use slo_s.
   std::vector<double> per_stream_slo;
+  // Invoker-pool layout (default: one shard per SLO class).
+  // core::ShardPolicy::single() reproduces the pre-pool single-invoker runs
+  // byte-for-byte.
+  core::ShardPolicy sharding;
   std::uint64_t seed = 7;
 };
 
 struct MultiStreamResult {
   std::vector<core::StreamStats> streams;  // per-stream telemetry
+  std::size_t shards = 0;                  // invoker-pool shards created
   std::size_t patches_sent = 0;
   std::size_t patches_completed = 0;
   std::size_t slo_violations = 0;
@@ -134,11 +140,27 @@ struct MultiStreamResult {
   }
   // Queue-to-invoke latency pooled across all streams.
   [[nodiscard]] common::Sampler pooled_queue_to_invoke() const;
+  // Completions / SLO misses summed over the streams of one SLO class.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> class_completions_misses(
+      double slo_class) const;
 };
 
 // One camera per entry in `cameras` (entries may alias the same trace for
 // load scaling); camera i becomes stream i of a single shared TangramSystem.
 [[nodiscard]] MultiStreamResult run_multistream(
+    const std::vector<const SceneTrace*>& cameras,
+    const MultiStreamConfig& config);
+
+// The 1-vs-K-shards comparison: the same cameras and mixed SLO classes run
+// twice on identical arrival schedules — once on a single shared invoker
+// shard (the paper's layout, head-of-line blocking included) and once with
+// one shard per SLO class behind the admission router.
+struct ShardedRunResult {
+  MultiStreamResult single;   // ShardPolicy::single()
+  MultiStreamResult sharded;  // ShardPolicy::per_slo_class()
+};
+
+[[nodiscard]] ShardedRunResult run_sharded(
     const std::vector<const SceneTrace*>& cameras,
     const MultiStreamConfig& config);
 

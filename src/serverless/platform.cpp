@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace tangram::serverless {
 
@@ -23,7 +24,13 @@ int FunctionPlatform::max_canvases_per_batch(common::Size canvas) const {
   const double per_canvas_gb = config_.canvas_gpu_gb *
                                static_cast<double>(canvas.area()) /
                                (1024.0 * 1024.0);
-  return static_cast<int>(std::floor(free_gb / per_canvas_gb));
+  // canvas_gpu_gb == 0 (or a zero-area canvas) models canvases that cost no
+  // VRAM: batches are unconstrained rather than a division by zero.
+  if (per_canvas_gb <= 0.0) return std::numeric_limits<int>::max();
+  return static_cast<int>(
+      std::floor(std::min(free_gb / per_canvas_gb,
+                          static_cast<double>(
+                              std::numeric_limits<int>::max()))));
 }
 
 int FunctionPlatform::find_idle_warm_instance() {

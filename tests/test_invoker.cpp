@@ -149,6 +149,83 @@ TEST(Invoker, HopelessPatchDispatchedImmediately) {
   EXPECT_NEAR(f.invoked[0].invoke_time, 0.5, 1e-9);
 }
 
+// Binary-exact latency constants (0.125-based) so "t_remain == now" holds to
+// the last bit: slack(1) = 0.25, slack(2) = 0.375, with no rounding drift.
+struct ExactBoundaryFixture {
+  sim::Simulator sim;
+  serverless::InferenceLatencyModel model = [] {
+    serverless::LatencyModelParams params;
+    params.jitter_sigma = 0.0;
+    params.overhead_s = 0.125;
+    params.per_canvas_s = 0.125;
+    params.batch_alpha = 1.0;
+    return serverless::InferenceLatencyModel(params, common::Rng(1, 1));
+  }();
+  LatencyEstimator estimator;
+  std::vector<Batch> invoked;
+  std::unique_ptr<SloAwareInvoker> invoker;
+
+  ExactBoundaryFixture()
+      : estimator(model, {1024, 1024},
+                  [] {
+                    LatencyEstimator::Config c;
+                    c.max_profiled_batch = 10;
+                    c.iterations = 50;
+                    return c;
+                  }()) {
+    invoker = std::make_unique<SloAwareInvoker>(
+        sim, StitchSolver(), estimator, InvokerConfig{},
+        [this](Batch&& b) { invoked.push_back(std::move(b)); });
+  }
+};
+
+TEST(Invoker, ExactBoundaryArrivalIsOnTimeNotHopeless) {
+  // Deadline convention regression: a patch arriving exactly at its own
+  // dispatch boundary (t_remain == now) is exactly on time — dispatching
+  // now meets the deadline to the second.  Generation 0.25 + SLO 0.5 with
+  // slack(1) = 0.25 puts t_remain at precisely the 0.5 arrival instant.
+  ExactBoundaryFixture f;
+  f.sim.schedule_at(0.5, [&] {
+    Patch p;
+    p.id = 1;
+    p.region = {0, 0, 300, 300};
+    p.generation_time = 0.25;
+    p.slo = 0.5;  // deadline 0.75; t_remain = 0.75 - 0.25 = 0.5 exactly
+    f.invoker->on_patch(p);
+  });
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.invoked[0].invoke_time, 0.5);
+  // Invoked at t_remain, the batch finishes exactly at the deadline.
+  EXPECT_DOUBLE_EQ(f.invoked[0].earliest_deadline,
+                   f.invoked[0].invoke_time + f.invoked[0].slack_estimate);
+  EXPECT_EQ(f.invoker->forced_flushes(), 0u);
+}
+
+TEST(Invoker, ExactBoundaryAdmissionKeepsBatchTogether) {
+  // Same convention on the admit path: patch B's arrival pushes the packing
+  // to 2 canvases (slack 0.375) at the exact instant t_remain reaches now
+  // (1.0 - 0.375 = 0.625).  Boundary == on time: no forced flush; one batch
+  // of both patches dispatched immediately.
+  ExactBoundaryFixture f;
+  const auto make_patch = [](std::uint64_t id) {
+    Patch p;
+    p.id = id;
+    p.region = {0, 0, 800, 800};
+    p.generation_time = 0.0;
+    p.slo = 1.0;
+    return p;
+  };
+  f.sim.schedule_at(0.0, [&] { f.invoker->on_patch(make_patch(1)); });
+  f.sim.schedule_at(0.625, [&] { f.invoker->on_patch(make_patch(2)); });
+  f.sim.run();
+  ASSERT_EQ(f.invoked.size(), 1u);
+  EXPECT_EQ(f.invoked[0].total_patches, 2);
+  EXPECT_EQ(f.invoked[0].canvas_count(), 2);
+  EXPECT_DOUBLE_EQ(f.invoked[0].invoke_time, 0.625);
+  EXPECT_EQ(f.invoker->forced_flushes(), 0u);
+}
+
 TEST(Invoker, FlushDispatchesPendingWork) {
   Fixture f;
   f.sim.schedule_at(0.0, [&] {

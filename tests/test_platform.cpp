@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "serverless/cost.h"
 
 namespace tangram::serverless {
@@ -129,6 +131,69 @@ TEST(Platform, BacklogDrainsFifoWhenAtMaxInstances) {
   EXPECT_EQ(platform.instances_created(), 1);
 }
 
+TEST(Platform, BacklogDrainOrderPreservedAcrossMultipleInstances) {
+  sim::Simulator sim;
+  PlatformConfig config = default_config();
+  config.max_instances = 2;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i)
+    platform.invoke(spec, [&order, i](const InvocationRecord&) {
+      order.push_back(i);
+    });
+  EXPECT_EQ(platform.queued_requests(), 4u);
+  sim.run();
+  // Both instances free in lockstep (deterministic latency) and the backlog
+  // must still drain strictly FIFO.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(platform.instances_created(), 2);
+}
+
+TEST(Platform, DrainedBacklogReusesWarmInstanceWithoutColdStart) {
+  sim::Simulator sim;
+  PlatformConfig config = default_config();
+  config.max_instances = 1;
+  config.keepalive_s = 30.0;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  std::vector<InvocationRecord> records;
+  for (int i = 0; i < 2; ++i)
+    platform.invoke(spec,
+                    [&](const InvocationRecord& r) { records.push_back(r); });
+  sim.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].cold_start);
+  EXPECT_FALSE(records[1].cold_start);  // drained onto the still-warm slot
+  EXPECT_EQ(records[1].instance_id, records[0].instance_id);
+  // The drained request started the moment the instance freed.
+  EXPECT_NEAR(records[1].start_time, records[0].finish_time, 1e-12);
+}
+
+TEST(Platform, DrainedBacklogPaysColdStartOnCooledSlot) {
+  sim::Simulator sim;
+  PlatformConfig config = default_config();
+  config.max_instances = 1;
+  config.keepalive_s = 0.0;  // the slot cools the instant it frees
+  FunctionPlatform platform(sim, config, deterministic_latency());
+  RequestSpec spec;
+  spec.num_canvases = 1;
+  std::vector<InvocationRecord> records;
+  for (int i = 0; i < 2; ++i)
+    platform.invoke(spec,
+                    [&](const InvocationRecord& r) { records.push_back(r); });
+  sim.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].cold_start);
+  EXPECT_TRUE(records[1].cold_start);  // cooled slot, not a warm reuse
+  EXPECT_EQ(records[1].instance_id, records[0].instance_id);
+  EXPECT_EQ(platform.instances_created(), 1);  // slot reused, fleet not grown
+  EXPECT_NEAR(records[1].start_time,
+              records[0].finish_time + config.cold_start_s, 1e-12);
+}
+
 TEST(Platform, CostAccumulatesPerEqn1) {
   sim::Simulator sim;
   FunctionPlatform platform(sim, default_config(), deterministic_latency());
@@ -153,6 +218,26 @@ TEST(Platform, GpuMemoryConstraintEnforced) {
   RequestSpec too_big;
   too_big.num_canvases = 10;
   EXPECT_THROW(platform.invoke(too_big, nullptr), std::invalid_argument);
+}
+
+TEST(Platform, ZeroPerCanvasMemoryMeansUnconstrainedBatches) {
+  sim::Simulator sim;
+  PlatformConfig config = default_config();
+  config.canvas_gpu_gb = 0.0;  // canvases cost no VRAM: no division by zero
+  FunctionPlatform platform(sim, config, deterministic_latency());
+  EXPECT_EQ(platform.max_canvases_per_batch({1024, 1024}),
+            std::numeric_limits<int>::max());
+  RequestSpec big;
+  big.num_canvases = 100000;
+  EXPECT_NO_THROW(platform.invoke(big, nullptr));
+}
+
+TEST(Platform, ModelLargerThanGpuAdmitsNoBatch) {
+  sim::Simulator sim;
+  PlatformConfig config = default_config();
+  config.model_gpu_gb = config.resources.gpu_gb + 1.0;
+  FunctionPlatform platform(sim, config, deterministic_latency());
+  EXPECT_EQ(platform.max_canvases_per_batch({1024, 1024}), 0);
 }
 
 TEST(Platform, RejectsEmptyRequest) {

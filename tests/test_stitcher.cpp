@@ -232,6 +232,76 @@ TEST(SplitOversized, WidePatchSplitsIntoColumns) {
   EXPECT_EQ(area, patch.area());  // exact tiling, no gaps or overlap
 }
 
+// --- apportion_bytes --------------------------------------------------------
+
+TEST(ApportionBytes, SumsExactlyToOriginalForAnyRemainder) {
+  // Prime byte counts cannot divide evenly across any tile count; the old
+  // bytes / tiles.size() division dropped the remainder.
+  const common::Rect patch{0, 0, 2100, 500};
+  const auto tiles = split_oversized(patch, kCanvas);
+  ASSERT_EQ(tiles.size(), 3u);
+  for (const std::size_t bytes : {0ul, 1ul, 2ul, 100003ul, 999999937ul}) {
+    const auto shares = apportion_bytes(bytes, tiles);
+    ASSERT_EQ(shares.size(), tiles.size());
+    std::size_t sum = 0;
+    for (const std::size_t s : shares) sum += s;
+    EXPECT_EQ(sum, bytes) << "bytes=" << bytes;
+  }
+}
+
+TEST(ApportionBytes, SharesProportionalToTileArea) {
+  // 1500x500 splits into two columns of 750x500 — equal areas, equal bytes.
+  const auto even = split_oversized(common::Rect{0, 0, 1500, 500}, kCanvas);
+  ASSERT_EQ(even.size(), 2u);
+  const auto even_shares = apportion_bytes(1000, even);
+  EXPECT_EQ(even_shares[0], 500u);
+  EXPECT_EQ(even_shares[1], 500u);
+
+  // Unequal tiles get area-weighted shares, within a byte of exact.
+  const std::vector<common::Rect> uneven = {{0, 0, 300, 100}, {300, 0, 100, 100}};
+  const auto uneven_shares = apportion_bytes(4000, uneven);
+  EXPECT_EQ(uneven_shares[0], 3000u);
+  EXPECT_EQ(uneven_shares[1], 1000u);
+}
+
+TEST(ApportionBytes, RejectsDegenerateInput) {
+  EXPECT_THROW((void)apportion_bytes(10, {}), std::invalid_argument);
+  EXPECT_THROW((void)apportion_bytes(10, {common::Rect{0, 0, 0, 100}}),
+               std::invalid_argument);
+}
+
+TEST(SplitPatch, FittingPatchPassesThroughUntouched) {
+  Patch p;
+  p.id = 7;
+  p.region = {10, 10, 500, 700};
+  p.bytes = 1234;
+  const auto subs = split_patch(p, kCanvas);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].region, p.region);
+  EXPECT_EQ(subs[0].bytes, 1234u);
+}
+
+TEST(SplitPatch, TilesCarryMetadataAndConserveBytes) {
+  Patch p;
+  p.id = 9;
+  p.stream_id = 3;
+  p.region = {0, 0, 2100, 500};
+  p.generation_time = 1.5;
+  p.slo = 0.8;
+  p.bytes = 100003;
+  const auto subs = split_patch(p, kCanvas);
+  ASSERT_EQ(subs.size(), 3u);
+  std::size_t bytes = 0;
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.id, 9u);
+    EXPECT_EQ(sub.stream_id, 3);
+    EXPECT_DOUBLE_EQ(sub.generation_time, 1.5);
+    EXPECT_DOUBLE_EQ(sub.slo, 0.8);
+    bytes += sub.bytes;
+  }
+  EXPECT_EQ(bytes, 100003u);
+}
+
 TEST(SplitOversized, BothDimensionsSplit) {
   const common::Rect patch{100, 100, 2500, 2500};
   const auto tiles = split_oversized(patch, kCanvas);

@@ -181,6 +181,44 @@ TEST(TangramSystem, UnknownStreamIdThrows) {
                std::out_of_range);
 }
 
+TEST(TangramSystem, UnschedulableGpuConfigThrowsAtConstruction) {
+  // Model weights alone exceed the GPU: no batch can ever run, so the old
+  // max(1, ...) clamp would only blow up mid-simulation inside invoke().
+  sim::Simulator sim;
+  TangramSystem::Config config = quiet_config();
+  config.platform.model_gpu_gb = config.platform.resources.gpu_gb + 1.0;
+  EXPECT_THROW(TangramSystem(sim, config, nullptr), std::invalid_argument);
+}
+
+TEST(TangramSystem, CanvasTooLargeForGpuThrowsAtConstruction) {
+  // One 4096x4096 canvas needs 16x the calibrated VRAM (area-scaled):
+  // 8 GB > the 4.5 GB left beside the model.
+  sim::Simulator sim;
+  TangramSystem::Config config = quiet_config();
+  config.canvas = {4096, 4096};
+  EXPECT_THROW(TangramSystem(sim, config, nullptr), std::invalid_argument);
+}
+
+TEST(TangramSystem, SplitPatchBytesSumExactlyToOriginal) {
+  sim::Simulator sim;
+  std::size_t bytes_seen = 0;
+  std::size_t tiles_seen = 0;
+  TangramSystem system(sim, quiet_config(),
+                       [&](const Patch& p, const serverless::InvocationRecord&) {
+                         bytes_seen += p.bytes;
+                         ++tiles_seen;
+                       });
+  Patch big = make_patch(1, {1, 1}, 0.0);
+  big.region = {100, 100, 2500, 600};
+  big.bytes = 100003;  // prime: indivisible by any tile count
+  sim.schedule_at(0.0, [&] { system.receive_patch(big); });
+  sim.run();
+  system.flush();
+  sim.run();
+  EXPECT_EQ(tiles_seen, 3u);
+  EXPECT_EQ(bytes_seen, 100003u);  // the old bytes/tiles division lost 1
+}
+
 TEST(TangramSystem, OversizedPatchCountsTilesOnItsStream) {
   sim::Simulator sim;
   TangramSystem system(sim, quiet_config(), nullptr);
