@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "core/estimator.h"
+#include "core/free_rect_index.h"
 #include "core/partitioner.h"
 #include "core/stitcher.h"
 #include "sim/simulator.h"
@@ -146,6 +147,63 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+// Algorithm 2's event pattern: the invoker's deadline timer is cancelled and
+// re-armed on every patch arrival, and most re-arms happen before the old
+// timer ever fires.  BM_EventQueue never cancels, so it misses the dominant
+// cost of a real replay: dead entries (or their removal) in the heap.  Each
+// iteration interleaves arrivals (cancel + re-arm over `range(1)` concurrent
+// timers) with enough clock progress that some timers do fire.
+void BM_EventChurn(benchmark::State& state) {
+  const int arrivals = static_cast<int>(state.range(0));
+  const int timers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    common::Rng rng(5, 2);
+    std::vector<sim::EventHandle> handles(
+        static_cast<std::size_t>(timers));
+    std::size_t fired = 0;
+    double t = 0.0;
+    for (int i = 0; i < arrivals; ++i) {
+      t += rng.uniform(0.0, 1e-3);
+      sim.run_until(t);
+      auto& handle = handles[static_cast<std::size_t>(
+          rng.uniform_int(0, timers - 1))];
+      handle.cancel();
+      handle = sim.schedule_at(t + rng.uniform(0.005, 0.1),
+                               [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * arrivals);
+}
+BENCHMARK(BM_EventChurn)
+    ->Args({100000, 16})
+    ->Args({100000, 256})
+    ->Args({100000, 4096});
+
+// One Best-Short-Side-Fit query (tentative place + rollback, the invoker's
+// admit probe) against a store holding `range(0)` free rectangles.  Grows the
+// store by placing small items: each guillotine place nets roughly one extra
+// free rect, so free-rect count tracks placement count.
+void BM_BssfQuery(benchmark::State& state) {
+  const int target_rects = static_cast<int>(state.range(0));
+  core::FreeRectIndex index({1024, 1024});
+  common::Rng rng(21, 4);
+  while (index.free_rect_count() < static_cast<std::size_t>(target_rects))
+    index.place({rng.uniform_int(20, 160), rng.uniform_int(20, 160)});
+
+  for (auto _ : state) {
+    const auto mark = index.mark();
+    const auto placed =
+        index.place({rng.uniform_int(20, 300), rng.uniform_int(20, 300)});
+    index.rollback(mark);
+    benchmark::DoNotOptimize(placed.canvas_index);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BssfQuery)->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_EstimatorSlack(benchmark::State& state) {
   serverless::InferenceLatencyModel model;

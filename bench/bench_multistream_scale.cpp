@@ -19,7 +19,10 @@
 // strictly fewer tight-class misses, fewer invocations, and lower cost.
 
 #include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common/table.h"
@@ -36,9 +39,62 @@ std::vector<double> stream_slos(std::size_t n) {
   return slos;
 }
 
+// One row of the machine-readable perf trajectory (--json): enough to diff
+// scheduler and event-engine throughput across PRs without re-parsing the
+// human tables.
+struct SweepPoint {
+  std::size_t streams = 0;
+  std::size_t shards = 0;
+  std::size_t patches = 0;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double patches_per_wall_sec = 0.0;
+  std::size_t invocations = 0;
+  std::size_t batches = 0;
+  double cost_usd = 0.0;
+  double miss_rate = 0.0;
+  double q2i_p50_s = 0.0;
+  double q2i_p99_s = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<SweepPoint>& sweep) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_multistream_scale: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"benchmark\": \"multistream_scale\",\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    out << "    {\"streams\": " << p.streams << ", \"shards\": " << p.shards
+        << ", \"patches\": " << p.patches << ", \"wall_ms\": " << p.wall_ms
+        << ", \"events\": " << p.events
+        << ", \"events_per_sec\": " << p.events_per_sec
+        << ", \"patches_per_wall_sec\": " << p.patches_per_wall_sec
+        << ", \"invocations\": " << p.invocations
+        << ", \"batches\": " << p.batches << ", \"cost_usd\": " << p.cost_usd
+        << ", \"miss_rate\": " << p.miss_rate
+        << ", \"q2i_p50_s\": " << p.q2i_p50_s
+        << ", \"q2i_p99_s\": " << p.q2i_p99_s << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_multistream_scale [--json <path>]\n";
+      return 2;
+    }
+  }
   // One trace, aliased per stream: every camera sees the same workload, so
   // the sweep isolates scheduler scaling from workload drift.
   experiments::TraceConfig trace_config;
@@ -53,6 +109,7 @@ int main() {
                        "Cost ($)"});
 
   experiments::MultiStreamResult last_result;
+  std::vector<SweepPoint> sweep;
   for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     std::vector<const experiments::SceneTrace*> cameras(n, &trace);
     experiments::MultiStreamConfig config;
@@ -72,6 +129,24 @@ int main() {
     for (const auto& stream : result.streams)
       worst = std::max(worst, stream.violation_rate());
     const auto q2i = result.pooled_queue_to_invoke();
+
+    SweepPoint point;
+    point.streams = n;
+    point.shards = result.shards;
+    point.patches = result.patches_completed;
+    point.wall_ms = wall_s * 1000.0;
+    point.events = result.events_executed;
+    point.events_per_sec =
+        static_cast<double>(result.events_executed) / wall_s;
+    point.patches_per_wall_sec =
+        static_cast<double>(result.patches_completed) / wall_s;
+    point.invocations = result.invocations;
+    point.batches = result.batches;
+    point.cost_usd = result.total_cost;
+    point.miss_rate = result.violation_rate();
+    point.q2i_p50_s = q2i.quantile(0.50);
+    point.q2i_p99_s = q2i.quantile(0.99);
+    sweep.push_back(point);
 
     table.add_row(
         {std::to_string(n), std::to_string(result.shards),
@@ -160,5 +235,7 @@ int main() {
             << tight_sharded << " (sharded)"
             << (tight_sharded < tight_single ? "  [sharding wins]" : "")
             << "\n";
+
+  if (!json_path.empty()) write_json(json_path, sweep);
   return 0;
 }

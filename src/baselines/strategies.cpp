@@ -209,8 +209,10 @@ void MArkStrategy::on_patch(const core::Patch& patch) {
 }
 
 void MArkStrategy::dispatch() {
-  timeout_timer_.cancel();
-  if (queue_.empty()) return;
+  if (queue_.empty()) {
+    timeout_timer_.cancel();
+    return;
+  }
 
   const int take = std::min<int>(static_cast<int>(queue_.size()),
                                  options_.batch_size);
@@ -227,10 +229,16 @@ void MArkStrategy::dispatch() {
       if (on_done_) on_done_(p, record);
   });
 
-  // Items beyond batch_size stay queued; restart the timeout for them.
-  if (!queue_.empty())
-    timeout_timer_ =
-        sim_.schedule_in(options_.timeout_s, [this] { dispatch(); });
+  // Items beyond batch_size stay queued; restart the timeout for them,
+  // re-arming the still-pending timer in place when a size-triggered
+  // dispatch beat it to the punch.
+  if (!queue_.empty()) {
+    const double when = sim_.now() + options_.timeout_s;
+    if (!sim_.reschedule(timeout_timer_, when))
+      timeout_timer_ = sim_.schedule_at(when, [this] { dispatch(); });
+  } else {
+    timeout_timer_.cancel();
+  }
 }
 
 void MArkStrategy::flush() {

@@ -7,6 +7,19 @@
 // split rule of the batch solver, so a sequence of place() calls reproduces
 // StitchSolver::pack() placements bit for bit (in queue order).
 //
+// BSSF query index: free rects are bucketed by their SHORT SIDE min(w, h),
+// with an occupancy bitmap over buckets.  For an item (iw, ih), every rect
+// in bucket s that fits scores at least s - max(iw, ih), so scanning buckets
+// in ascending s gives a monotonically rising lower bound and the scan stops
+// as soon as that bound exceeds the best score found — typically after a
+// handful of buckets instead of every free rect in the store.  The winner is
+// IDENTICAL to the historical linear scan: that scan kept the first strict
+// minimum over canvases in open order and free lists in insertion order,
+// i.e. the lexicographic minimum of (score, canvas, position); since each
+// canvas's free list stays ordered by insertion sequence (erase preserves
+// order, splits append), tie-breaking candidates by a stable per-rect
+// insertion id reproduces the position tie-break exactly.
+//
 // Every mutation is recorded in an undo journal, giving O(1) checkpoint()
 // and rollback proportional only to the work done since the mark.  The
 // SLO-aware invoker leans on this to tentatively admit a patch, inspect the
@@ -37,10 +50,10 @@ class FreeRectIndex {
 
   explicit FreeRectIndex(common::Size canvas);
 
-  // Best-Short-Side-Fit placement.  Scans canvases in open order and each
-  // canvas's free list in insertion order, keeping the first strict minimum
-  // of min(wc - wi, hc - hi); opens a new canvas when nothing fits.  The
-  // item must be non-empty and fit the canvas (checked).
+  // Best-Short-Side-Fit placement.  Equivalent to scanning canvases in open
+  // order and each canvas's free list in insertion order, keeping the first
+  // strict minimum of min(wc - wi, hc - hi); opens a new canvas when nothing
+  // fits.  The item must be non-empty and fit the canvas (checked).
   struct Placed {
     int canvas_index = -1;
     common::Point position;
@@ -65,22 +78,63 @@ class FreeRectIndex {
   [[nodiscard]] const std::vector<common::Rect>& free_rects(int canvas) const {
     return canvases_[static_cast<std::size_t>(canvas)];
   }
+  // Free rectangles across all open canvases (bench/diagnostics).
+  [[nodiscard]] std::size_t free_rect_count() const { return total_rects_; }
 
  private:
   enum class Op { kErase, kPush, kOpenCanvas };
   struct JournalEntry {
     Op op;
-    std::uint64_t id = 0;      // monotone, never reused (staleness check)
+    std::uint64_t id = 0;       // monotone, never reused (staleness check)
     std::size_t canvas = 0;
-    std::size_t index = 0;     // kErase: position the rect was removed from
-    common::Rect rect;         // kErase: the removed rect
+    std::size_t index = 0;      // kErase: position the rect was removed from
+    common::Rect rect;          // kErase: the removed rect
+    std::uint64_t rect_id = 0;  // kErase: insertion id of the removed rect
+  };
+
+  // One free rect in the short-side bucket index.  Width/height are copied
+  // in so a query never chases back into the per-canvas vectors.
+  struct BucketEntry {
+    std::uint32_t canvas = 0;
+    std::uint64_t rect_id = 0;  // per-store monotone insertion id
+    std::int32_t width = 0;
+    std::int32_t height = 0;
   };
 
   void journal(Op op, std::size_t canvas, std::size_t index = 0,
-               common::Rect rect = {});
+               common::Rect rect = {}, std::uint64_t rect_id = 0);
+
+  // Mutation primitives shared by place() and rollback(); each keeps the
+  // per-canvas vectors, the bucket index, and total_rects_ in lockstep.
+  std::uint64_t push_rect(std::size_t canvas, common::Rect rect);
+  void insert_rect(std::size_t canvas, std::size_t index, common::Rect rect,
+                   std::uint64_t rect_id);
+  void remove_rect(std::size_t canvas, std::size_t index);
+  void bucket_add(std::uint32_t canvas, std::uint64_t rect_id,
+                  common::Rect rect);
+  void bucket_remove(std::uint32_t canvas, std::uint64_t rect_id,
+                     common::Rect rect);
+
+  // (canvas, position) of the BSSF winner, or canvas < 0 when nothing fits.
+  struct Candidate {
+    int canvas = -1;
+    std::size_t position = 0;
+  };
+  [[nodiscard]] Candidate best_short_side_fit(common::Size item) const;
 
   common::Size canvas_;
   std::vector<std::vector<common::Rect>> canvases_;  // free lists
+  // Per-canvas insertion ids, parallel to canvases_[c]; strictly increasing
+  // within a canvas, which is what makes id order == position order.
+  std::vector<std::vector<std::uint64_t>> rect_ids_;
+  std::uint64_t next_rect_id_ = 1;
+  std::size_t total_rects_ = 0;
+
+  // Short-side bucket index: buckets_[s] holds every free rect with
+  // min(w, h) == s; bucket_bits_ marks non-empty buckets (64 per word).
+  std::vector<std::vector<BucketEntry>> buckets_;
+  std::vector<std::uint64_t> bucket_bits_;
+
   std::vector<JournalEntry> journal_;
   std::uint64_t next_id_ = 1;
 };

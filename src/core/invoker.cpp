@@ -148,11 +148,18 @@ void SloAwareInvoker::admit_resorting(Patch patch) {
 }
 
 void SloAwareInvoker::arm_timer() {
-  timer_.cancel();
-  if (queue_.empty()) return;
+  if (queue_.empty()) {
+    timer_.cancel();
+    return;
+  }
+  // Every patch arrival re-arms the deadline timer (Algorithm 2), so this is
+  // the event engine's hottest call site: reschedule() moves the pending
+  // event in place — same firing order as cancel() + schedule_at(), but no
+  // heap removal, no slot churn, no callback re-construction.
   const double t_remain = earliest_deadline_ - slack_;
-  timer_ = sim_.schedule_at(std::max(t_remain, sim_.now()),
-                            [this] { invoke_current(); });
+  const double when = std::max(t_remain, sim_.now());
+  if (!sim_.reschedule(timer_, when))
+    timer_ = sim_.schedule_at(when, [this] { invoke_current(); });
 }
 
 Batch SloAwareInvoker::build_batch() const {

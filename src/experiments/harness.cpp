@@ -289,6 +289,7 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   result.batch_canvases = invoker_stats.batch_canvas_count;
   result.canvas_efficiency = invoker_stats.canvas_efficiency;
   result.makespan_s = sim.now();
+  result.events_executed = sim.events_executed();
   return result;
 }
 

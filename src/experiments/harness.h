@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -130,6 +131,10 @@ struct MultiStreamResult {
   std::size_t invocations = 0;
   std::size_t batches = 0;
   double makespan_s = 0.0;
+  // Simulator events fired during the run; with the caller's wall-clock
+  // timer this yields events/sec, the engine-throughput axis of the perf
+  // trajectory (BENCH_multistream.json).
+  std::uint64_t events_executed = 0;
   common::Sampler batch_canvases;
   common::Sampler canvas_efficiency;
 

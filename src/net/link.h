@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <utility>
 
 #include "common/stats.h"
 #include "sim/simulator.h"
@@ -27,8 +27,11 @@ class Link {
   }
 
   // Queue `bytes` for transmission; `on_delivered` runs at delivery time.
-  // Returns the scheduled delivery time.
-  sim::TimePoint send(std::size_t bytes, std::function<void()> on_delivered) {
+  // Returns the scheduled delivery time.  Templated so small callbacks ride
+  // the simulator's inline event storage instead of a std::function heap
+  // allocation per delivery.
+  template <typename Fn>
+  sim::TimePoint send(std::size_t bytes, Fn&& on_delivered) {
     const double start = std::max(sim_.now(), busy_until_);
     const double tx = static_cast<double>(bytes) / bytes_per_second_;
     busy_until_ = start + tx;
@@ -36,7 +39,7 @@ class Link {
     queueing_delay_.add(start - sim_.now());
     transmission_time_.add(tx);
     total_bytes_ += bytes;
-    sim_.schedule_at(deliver_at, std::move(on_delivered));
+    sim_.schedule_at(deliver_at, std::forward<Fn>(on_delivered));
     return deliver_at;
   }
 

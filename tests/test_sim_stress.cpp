@@ -1,0 +1,245 @@
+// Property/stress tests for the slot-pool event engine.
+//
+// A naive reference model — a flat vector of (when, seq, fired-callback-id)
+// records with linear-scan extraction — is driven through the same random
+// interleaving of schedule_at / schedule_in / cancel / reschedule /
+// run_until / step as the real Simulator; the observed firing sequences
+// (callback identity AND firing time) must match exactly, and the exact
+// pending_events() count must agree after every operation.
+//
+// A second suite counts global operator new calls to pin the engine's
+// zero-steady-state-allocation guarantee: once the slot pool has grown to
+// the workload's high-water mark, schedule/cancel/reschedule/fire cycles
+// with inline-sized callbacks must not allocate at all.
+
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace {
+
+std::size_t g_new_calls = 0;
+
+}  // namespace
+
+// Counting overrides (single-threaded tests; gtest's own allocations are
+// excluded by sampling the counter around the measured region only).
+void* operator new(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tangram::sim {
+namespace {
+
+// --- reference model ---------------------------------------------------------
+
+struct RefEvent {
+  double when = 0.0;
+  std::uint64_t seq = 0;
+  int id = 0;  // callback identity
+};
+
+class ReferenceSimulator {
+ public:
+  std::uint64_t schedule_at(double when, int id) {
+    events_.push_back(RefEvent{std::max(when, now_), seq_, id});
+    return seq_++;
+  }
+
+  bool cancel(std::uint64_t seq) {
+    const auto it =
+        std::find_if(events_.begin(), events_.end(),
+                     [seq](const RefEvent& e) { return e.seq == seq; });
+    if (it == events_.end()) return false;
+    events_.erase(it);
+    return true;
+  }
+
+  bool reschedule(std::uint64_t seq, double when, std::uint64_t* new_seq) {
+    const auto it =
+        std::find_if(events_.begin(), events_.end(),
+                     [seq](const RefEvent& e) { return e.seq == seq; });
+    if (it == events_.end()) return false;
+    it->when = std::max(when, now_);
+    it->seq = seq_++;  // fresh tie-break position, like the real engine
+    *new_seq = it->seq;
+    return true;
+  }
+
+  // Fire everything with when <= horizon in (when, seq) order.
+  void run_until(double horizon, std::vector<std::pair<double, int>>* fired) {
+    for (;;) {
+      const auto it = std::min_element(
+          events_.begin(), events_.end(),
+          [](const RefEvent& a, const RefEvent& b) {
+            return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+          });
+      if (it == events_.end() || it->when > horizon) break;
+      now_ = it->when;
+      fired->emplace_back(it->when, it->id);
+      events_.erase(it);
+    }
+    if (now_ < horizon) now_ = horizon;
+  }
+
+  bool step(std::vector<std::pair<double, int>>* fired) {
+    if (events_.empty()) return false;
+    run_until_one(fired);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] double now() const { return now_; }
+
+ private:
+  void run_until_one(std::vector<std::pair<double, int>>* fired) {
+    const auto it = std::min_element(
+        events_.begin(), events_.end(),
+        [](const RefEvent& a, const RefEvent& b) {
+          return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+        });
+    now_ = it->when;
+    fired->emplace_back(it->when, it->id);
+    events_.erase(it);
+  }
+
+  std::vector<RefEvent> events_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+// --- interleaved property test -----------------------------------------------
+
+TEST(SimulatorStress, MatchesReferenceModelUnderRandomInterleaving) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    common::Rng rng(seed, 41);
+    Simulator sim;
+    ReferenceSimulator ref;
+
+    std::vector<std::pair<double, int>> sim_fired;
+    std::vector<std::pair<double, int>> ref_fired;
+    // Live handles, paired with the reference seq of the same event.
+    std::vector<std::pair<EventHandle, std::uint64_t>> live;
+    int next_id = 0;
+
+    for (int op = 0; op < 4000; ++op) {
+      const double roll = rng.uniform();
+      if (roll < 0.45) {
+        // schedule (at or in); the reference mirrors the exact floating-point
+        // expression the engine evaluates so firing times compare bit-equal
+        const int id = next_id++;
+        EventHandle h;
+        double when;
+        if (rng.bernoulli(0.5)) {
+          when = sim.now() + rng.uniform(0.0, 10.0);
+          h = sim.schedule_at(when, [id, &sim_fired, &sim] {
+            sim_fired.emplace_back(sim.now(), id);
+          });
+        } else {
+          const double delay = rng.uniform(-1.0, 10.0);
+          when = sim.now() + std::max(0.0, delay);
+          h = sim.schedule_in(delay, [id, &sim_fired, &sim] {
+            sim_fired.emplace_back(sim.now(), id);
+          });
+        }
+        live.emplace_back(h, ref.schedule_at(when, id));
+      } else if (roll < 0.60 && !live.empty()) {
+        // cancel a random live event (possibly already fired)
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+        const bool was_pending = live[pick].first.pending();
+        live[pick].first.cancel();
+        EXPECT_EQ(ref.cancel(live[pick].second), was_pending);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (roll < 0.80 && !live.empty()) {
+        // reschedule a random live event (no-op when already fired)
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+        const double when = sim.now() + rng.uniform(0.0, 10.0);
+        const bool moved = sim.reschedule(live[pick].first, when);
+        std::uint64_t new_seq = 0;
+        EXPECT_EQ(ref.reschedule(live[pick].second, when, &new_seq), moved);
+        if (moved) live[pick].second = new_seq;
+      } else if (roll < 0.95) {
+        // advance the clock a random amount
+        const double horizon = sim.now() + rng.uniform(0.0, 4.0);
+        sim.run_until(horizon);
+        ref.run_until(horizon, &ref_fired);
+        EXPECT_DOUBLE_EQ(sim.now(), ref.now());
+      } else {
+        // single-step
+        EXPECT_EQ(sim.step(), ref.step(&ref_fired));
+      }
+      ASSERT_EQ(sim.pending_events(), ref.pending()) << "op " << op;
+      ASSERT_EQ(sim_fired, ref_fired) << "op " << op;
+    }
+
+    sim.run_until(Simulator::kForever);
+    ref.run_until(Simulator::kForever, &ref_fired);
+    EXPECT_EQ(sim_fired, ref_fired);
+    EXPECT_TRUE(sim.idle());
+    EXPECT_EQ(sim.pending_events(), 0u);
+  }
+}
+
+// --- zero-steady-state-allocation guarantee ----------------------------------
+
+TEST(SimulatorStress, SteadyStateCyclesDoNotAllocate) {
+  Simulator sim;
+  common::Rng rng(7, 43);
+  std::vector<EventHandle> timers(64);
+  std::size_t fired = 0;
+
+  // Warm-up: grow the slot pool, heap, and free list to the workload's
+  // high-water mark (including one compaction's worth of tombstones).
+  for (int i = 0; i < 4096; ++i) {
+    auto& h = timers[static_cast<std::size_t>(rng.uniform_int(0, 63))];
+    h.cancel();
+    h = sim.schedule_in(rng.uniform(0.0, 1.0), [&fired] { ++fired; });
+    sim.run_until(sim.now() + rng.uniform(0.0, 0.01));
+  }
+
+  // Steady state: schedule / cancel / reschedule / fire with inline-sized
+  // callbacks must perform ZERO heap allocations.
+  const std::size_t allocs_before = g_new_calls;
+  for (int i = 0; i < 4096; ++i) {
+    auto& h = timers[static_cast<std::size_t>(rng.uniform_int(0, 63))];
+    if (!sim.reschedule(h, sim.now() + rng.uniform(0.0, 1.0)))
+      h = sim.schedule_in(rng.uniform(0.0, 1.0), [&fired] { ++fired; });
+    sim.run_until(sim.now() + rng.uniform(0.0, 0.01));
+  }
+  EXPECT_EQ(g_new_calls - allocs_before, 0u);
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(SimulatorStress, OversizedCallbackFallsBackToHeapButStillFires) {
+  Simulator sim;
+  // > 64 bytes of captured state: exercises the heap-fallback path.
+  struct Big {
+    double payload[16];
+  } big{};
+  big.payload[3] = 42.0;
+  double seen = 0.0;
+  sim.schedule_at(1.0, [big, &seen] { seen = big.payload[3]; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+}  // namespace
+}  // namespace tangram::sim
