@@ -8,15 +8,22 @@
 // keeps this flat-ish as N grows), p50/p99 queue-to-invoke latency in
 // simulated time, SLO-miss rate, and the worst-stream miss rate.
 //
-// Part 2 — sharding: the mixed-SLO fleet scenario.  A tight 0.25 s class
-// shares the fleet with a loose 2 s class under a constrained instance pool.
-// On one shared shard, every tight arrival over the loose backlog forces the
-// mixed canvas set out early (Algorithm 2's t_remain goes negative), so the
-// loose class is fragmented into a storm of small invocations that lands on
-// the platform right before each tight dispatch — head-of-line blocking by
-// correlated contention.  One shard per SLO class (InvokerPool admission
-// router) keeps the loose backlog off the tight class's dispatch path:
-// strictly fewer tight-class misses, fewer invocations, and lower cost.
+// Part 2 — sharding + capacity pools: the mixed-SLO fleet scenario.  A
+// tight 0.25 s class shares the fleet with a loose 2 s class under a
+// constrained instance pool.  On one shared shard, every tight arrival over
+// the loose backlog forces the mixed canvas set out early (Algorithm 2's
+// t_remain goes negative), so the loose class is fragmented into a storm of
+// small invocations that lands on the platform right before each tight
+// dispatch — head-of-line blocking by correlated contention.  One shard per
+// SLO class (InvokerPool admission router) keeps the loose backlog off the
+// tight class's dispatch path; reserved-concurrency CapacityPools then keep
+// the loose class's big batches from occupying every platform instance, so
+// the tight shard's invocations start without queueing.
+//
+// Part 3 — autoscaling: the same reserved-pool fleet under the three
+// AutoscalePolicy variants (static / target-utilization / queue-pressure),
+// reporting per-pool instance peaks, cold starts, and backlog-depth
+// quantiles — the provisioning axis of the BENCH_multistream artifact.
 
 #include <chrono>
 #include <cstring>
@@ -56,9 +63,30 @@ struct SweepPoint {
   double miss_rate = 0.0;
   double q2i_p50_s = 0.0;
   double q2i_p99_s = 0.0;
+  std::uint64_t cold_starts = 0;
+  int fleet_size = 0;
 };
 
-void write_json(const std::string& path, const std::vector<SweepPoint>& sweep) {
+// One mixed-SLO fleet configuration of Part 2/3 (layout x autoscale policy),
+// with the per-pool provisioning telemetry future PRs diff against.
+struct FleetPoint {
+  std::string layout;     // "single" | "sharded" | "sharded+reserved"
+  std::string autoscale;  // "static" | "target-util" | "queue-pressure"
+  std::size_t invocations = 0;
+  std::size_t tight_done = 0, tight_miss = 0;
+  std::size_t loose_done = 0, loose_miss = 0;
+  double cost_usd = 0.0;
+  std::uint64_t cold_starts = 0;
+  int fleet_size = 0;
+  std::vector<serverless::PoolTelemetry> pools;
+};
+
+double backlog_quantile(const common::Sampler& depth, double q) {
+  return depth.count() ? depth.quantile(q) : 0.0;
+}
+
+void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
+                const std::vector<FleetPoint>& fleet) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "bench_multistream_scale: cannot write " << path << "\n";
@@ -76,8 +104,37 @@ void write_json(const std::string& path, const std::vector<SweepPoint>& sweep) {
         << ", \"batches\": " << p.batches << ", \"cost_usd\": " << p.cost_usd
         << ", \"miss_rate\": " << p.miss_rate
         << ", \"q2i_p50_s\": " << p.q2i_p50_s
-        << ", \"q2i_p99_s\": " << p.q2i_p99_s << "}"
+        << ", \"q2i_p99_s\": " << p.q2i_p99_s
+        << ", \"cold_starts\": " << p.cold_starts
+        << ", \"fleet_size\": " << p.fleet_size << "}"
         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"fleet\": [\n";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const FleetPoint& f = fleet[i];
+    out << "    {\"layout\": \"" << f.layout << "\", \"autoscale\": \""
+        << f.autoscale << "\", \"invocations\": " << f.invocations
+        << ", \"tight_done\": " << f.tight_done
+        << ", \"tight_miss\": " << f.tight_miss
+        << ", \"loose_done\": " << f.loose_done
+        << ", \"loose_miss\": " << f.loose_miss
+        << ", \"cost_usd\": " << f.cost_usd
+        << ", \"cold_starts\": " << f.cold_starts
+        << ", \"fleet_size\": " << f.fleet_size << ", \"pools\": [";
+    for (std::size_t p = 0; p < f.pools.size(); ++p) {
+      const serverless::PoolTelemetry& pool = f.pools[p];
+      out << (p ? ", " : "") << "{\"name\": \"" << pool.name
+          << "\", \"reserved\": " << pool.reserved
+          << ", \"burst_limit\": " << pool.burst_limit
+          << ", \"final_limit\": " << pool.limit
+          << ", \"peak_in_use\": " << pool.peak_in_use
+          << ", \"dispatched\": " << pool.dispatched
+          << ", \"cold_starts\": " << pool.cold_starts
+          << ", \"backlog_p50\": " << backlog_quantile(pool.backlog_depth, 0.5)
+          << ", \"backlog_p99\": " << backlog_quantile(pool.backlog_depth, 0.99)
+          << ", \"autoscale_ticks\": " << pool.series.size() << "}";
+    }
+    out << "]}" << (i + 1 < fleet.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "\nwrote " << path << "\n";
@@ -146,6 +203,8 @@ int main(int argc, char** argv) {
     point.miss_rate = result.violation_rate();
     point.q2i_p50_s = q2i.quantile(0.50);
     point.q2i_p99_s = q2i.quantile(0.99);
+    point.cold_starts = result.cold_starts;
+    point.fleet_size = result.fleet_size;
     sweep.push_back(point);
 
     table.add_row(
@@ -192,23 +251,49 @@ int main(int argc, char** argv) {
   }
   per_class.print();
 
-  // --- Part 2: shard-count axis — the mixed-SLO fleet scenario -------------
+  // --- Part 2: shard + capacity-pool axes — the mixed-SLO fleet ------------
   const double kTightSlo = 0.25;
   const double kLooseSlo = 2.0;
   const std::size_t kFleet = 32;
-  std::cout << "\n=== Sharding: mixed-SLO fleet, " << kFleet
-            << " streams (1 tight : 3 loose), 1 shard vs one per SLO class "
-               "===\n";
+  const int kFleetInstances = 16;
+  const int kTightReserved = 4;  // guaranteed tight-class concurrency
+  std::cout << "\n=== Sharding + reserved concurrency: mixed-SLO fleet, "
+            << kFleet << " streams (1 tight : 3 loose), " << kFleetInstances
+            << " instances ===\n";
   std::vector<const experiments::SceneTrace*> fleet(kFleet, &trace);
   experiments::MultiStreamConfig fleet_config;
-  fleet_config.platform.max_instances = 16;
+  fleet_config.platform.max_instances = kFleetInstances;
   for (std::size_t i = 0; i < kFleet; ++i)
     fleet_config.per_stream_slo.push_back(i % 4 == 0 ? kTightSlo : kLooseSlo);
+  // Capacity plan: the tight shard gets kTightReserved guaranteed instances;
+  // the loose shard is capped so its big batches can't occupy the reserve.
+  fleet_config.pool_for_shard = experiments::reserved_tight_pool_plan(
+      /*tight_slo_threshold=*/0.5, kTightReserved,
+      /*loose_burst_limit=*/kFleetInstances - kTightReserved);
   const auto comparison = experiments::run_sharded(fleet, fleet_config);
+
+  std::vector<FleetPoint> fleet_points;
+  const auto record_fleet = [&](const char* layout, const char* policy,
+                                const experiments::MultiStreamResult& r) {
+    FleetPoint f;
+    f.layout = layout;
+    f.autoscale = policy;
+    f.invocations = r.invocations;
+    std::tie(f.tight_done, f.tight_miss) =
+        r.class_completions_misses(kTightSlo);
+    std::tie(f.loose_done, f.loose_miss) =
+        r.class_completions_misses(kLooseSlo);
+    f.cost_usd = r.total_cost;
+    f.cold_starts = r.cold_starts;
+    f.fleet_size = r.fleet_size;
+    f.pools = r.pools;
+    fleet_points.push_back(std::move(f));
+    return fleet_points.size() - 1;
+  };
 
   common::Table shard_table({"Layout", "Shards", "Invocations",
                              "Tight misses", "Loose misses", "Miss (%)",
-                             "Canv/batch", "Cost ($)"});
+                             "Cold starts", "Canv/batch", "Cost ($)"});
   const auto add_layout = [&](const char* label,
                               const experiments::MultiStreamResult& r) {
     const auto [tight_done, tight_miss] =
@@ -220,22 +305,91 @@ int main(int argc, char** argv) {
          std::to_string(tight_miss) + "/" + std::to_string(tight_done),
          std::to_string(loose_miss) + "/" + std::to_string(loose_done),
          common::Table::num(100.0 * r.violation_rate(), 2),
+         std::to_string(r.cold_starts),
          common::Table::num(r.batch_canvases.mean(), 2),
          common::Table::num(r.total_cost, 4)});
   };
   add_layout("single shard", comparison.single);
   add_layout("per SLO class", comparison.sharded);
+  add_layout("per class + reserved", comparison.sharded_reserved);
   shard_table.print();
+  record_fleet("single", "static", comparison.single);
+  record_fleet("sharded", "static", comparison.sharded);
+  record_fleet("sharded+reserved", "static", comparison.sharded_reserved);
 
   const std::size_t tight_single =
       comparison.single.class_completions_misses(kTightSlo).second;
   const std::size_t tight_sharded =
       comparison.sharded.class_completions_misses(kTightSlo).second;
+  const std::size_t tight_reserved =
+      comparison.sharded_reserved.class_completions_misses(kTightSlo).second;
   std::cout << "tight-class misses: " << tight_single << " (single) -> "
-            << tight_sharded << " (sharded)"
-            << (tight_sharded < tight_single ? "  [sharding wins]" : "")
+            << tight_sharded << " (sharded) -> " << tight_reserved
+            << " (sharded+reserved)"
+            << (tight_reserved <= tight_sharded ? "  [reserve holds]" : "")
             << "\n";
 
-  if (!json_path.empty()) write_json(json_path, sweep);
+  // Per-pool provisioning telemetry of the reserved layout.
+  std::cout << "\n=== Capacity pools (sharded + reserved, static limits) "
+               "===\n";
+  common::Table pool_table({"Pool", "Reserved", "Burst", "Peak in use",
+                            "Dispatched", "Cold starts", "Backlog p50",
+                            "Backlog p99"});
+  for (const auto& pool : comparison.sharded_reserved.pools)
+    pool_table.add_row(
+        {pool.name, std::to_string(pool.reserved),
+         std::to_string(pool.burst_limit), std::to_string(pool.peak_in_use),
+         std::to_string(pool.dispatched), std::to_string(pool.cold_starts),
+         common::Table::num(backlog_quantile(pool.backlog_depth, 0.5), 1),
+         common::Table::num(backlog_quantile(pool.backlog_depth, 0.99), 1)});
+  pool_table.print();
+
+  // --- Part 3: autoscaling axis — per-pool limit dynamics ------------------
+  std::cout << "\n=== Autoscaling: reserved-pool fleet under each "
+               "AutoscalePolicy ===\n";
+  common::Table auto_table({"Policy", "Invocations", "Tight misses",
+                            "Miss (%)", "Cold starts", "Pool peaks",
+                            "Ticks", "Cost ($)"});
+  const auto add_policy_row = [&](const char* name,
+                                  const experiments::MultiStreamResult& r) {
+    const auto [tight_done, tight_miss] =
+        r.class_completions_misses(kTightSlo);
+    std::string peaks;
+    std::size_t ticks = 0;
+    for (const auto& pool : r.pools) {
+      if (!peaks.empty()) peaks += " ";
+      peaks += pool.name + ":" + std::to_string(pool.peak_in_use);
+      ticks = std::max(ticks, pool.series.size());
+    }
+    auto_table.add_row(
+        {name, std::to_string(r.invocations),
+         std::to_string(tight_miss) + "/" + std::to_string(tight_done),
+         common::Table::num(100.0 * r.violation_rate(), 2),
+         std::to_string(r.cold_starts), peaks, std::to_string(ticks),
+         common::Table::num(r.total_cost, 4)});
+  };
+  // The static leg IS comparison.sharded_reserved (already simulated and
+  // recorded above); only the moving policies need fresh runs.
+  add_policy_row("static", comparison.sharded_reserved);
+  const struct {
+    const char* name;
+    serverless::AutoscalePolicy policy;
+  } policies[] = {
+      {"target-util",
+       serverless::AutoscalePolicy::target_utilization(0.9, 0.3, 0.5, 1)},
+      {"queue-pressure",
+       serverless::AutoscalePolicy::queue_pressure(2, 0.5, 1)},
+  };
+  for (const auto& entry : policies) {
+    experiments::MultiStreamConfig scaled_config = fleet_config;
+    scaled_config.sharding = core::ShardPolicy::per_slo_class();
+    scaled_config.platform.autoscale = entry.policy;
+    const auto result = experiments::run_multistream(fleet, scaled_config);
+    record_fleet("sharded+reserved", entry.name, result);
+    add_policy_row(entry.name, result);
+  }
+  auto_table.print();
+
+  if (!json_path.empty()) write_json(json_path, sweep, fleet_points);
   return 0;
 }

@@ -7,6 +7,12 @@
 // function pool — cross-stream batching is what keeps the per-patch cost
 // flat as the fleet grows.  Per-stream telemetry comes straight out of the
 // facade; no bookkeeping in application code.
+//
+// Capacity pools: the latency-critical downtown class gets reserved
+// concurrency on the platform (instances the relaxed classes can never
+// occupy), and the relaxed classes are burst-capped — so a burst of park
+// batches cannot queue ahead of an intersection alert.  Per-pool telemetry
+// (instance peaks, cold starts, backlog depth) is printed at the end.
 
 #include <iostream>
 
@@ -47,6 +53,11 @@ int main() {
 
   // One shard per SLO class (the TangramSystem default): the admission
   // router pins each site's streams to its class's shard at registration.
+  // The capacity plan reserves 4 of the 64 platform instances for the
+  // tight downtown class and caps the relaxed classes at 48 concurrent.
+  config.pool_for_shard = experiments::reserved_tight_pool_plan(
+      /*tight_slo_threshold=*/0.8, /*tight_reserved=*/4,
+      /*loose_burst_limit=*/48);
   const auto result = experiments::run_multistream(cameras, config);
 
   std::cout << "\n--- fleet results (" << cameras.size() << " cameras, "
@@ -68,10 +79,29 @@ int main() {
   std::cout << "serverless cost:      $" << result.total_cost << "\n";
   std::cout << "fleet SLO misses:     " << 100.0 * result.violation_rate()
             << "%\n";
+  std::cout << "cold starts:          " << result.cold_starts << " (mean "
+            << (result.cold_start_setup.count()
+                    ? result.cold_start_setup.mean()
+                    : 0.0)
+            << " s setup, unbilled)\n";
 
-  // Same fleet on the legacy single shared invoker, for contrast.
+  std::cout << "\n--- capacity pools (" << result.pools.size()
+            << " pools over " << result.fleet_size << " instance slots) ---\n";
+  common::Table pool_table({"Pool", "Reserved", "Burst", "Peak in use",
+                            "Dispatched", "Cold starts"});
+  for (const auto& pool : result.pools)
+    pool_table.add_row({pool.name, std::to_string(pool.reserved),
+                        std::to_string(pool.burst_limit),
+                        std::to_string(pool.peak_in_use),
+                        std::to_string(pool.dispatched),
+                        std::to_string(pool.cold_starts)});
+  pool_table.print();
+
+  // Same fleet on the legacy single shared invoker (no capacity plan),
+  // for contrast.
   auto single_config = config;
   single_config.sharding = core::ShardPolicy::single();
+  single_config.pool_for_shard = nullptr;
   const auto single = experiments::run_multistream(cameras, single_config);
   std::cout << "\n--- single-shard baseline ---\n";
   std::cout << "batches invoked:      " << single.batches << " (mean "

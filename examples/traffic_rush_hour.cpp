@@ -60,7 +60,7 @@ int main() {
          common::Table::num(r.completed_items / r.makespan_s, 1),
          common::Table::num(r.total_cost, 4),
          common::Table::num(r.violation_rate() * 100.0, 2),
-         std::to_string(r.instances_created),
+         std::to_string(r.fleet_size),
          common::Table::num(iaas_cost, 4)});
   }
 

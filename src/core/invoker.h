@@ -29,6 +29,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -44,6 +45,16 @@ struct InvokerConfig {
   // Maximum canvases per batch admitted by the function's GPU memory
   // (constraint (5)); obtain from FunctionPlatform::max_canvases_per_batch.
   int max_canvases = 9;
+  // Capacity pool this invoker's batches are invoked against (stamped by the
+  // pool/system wiring; empty = the platform's default pool).  Carried here
+  // so per-shard telemetry self-describes its concurrency domain.
+  std::string pool_key;
+  // Pool-aware capacity query (optional): additional concurrent invocations
+  // the shard's capacity pool can start right now.  When set, the invoker
+  // counts batches dispatched into a saturated pool
+  // (InvokerStats::saturated_dispatches) — a direct signal that the pool's
+  // limits, not the packing policy, are the shard's SLO bottleneck.
+  std::function<int()> pool_headroom;
 };
 
 // One packed canvas inside a dispatched batch.
@@ -62,6 +73,10 @@ struct InvokerStats {
   common::Sampler batch_patch_count;   // patches per invoked batch
   std::size_t batches_invoked = 0;
   std::size_t forced_flushes = 0;
+  // Batches dispatched while the shard's capacity pool had zero headroom
+  // (they queue on the platform instead of starting; only counted when
+  // InvokerConfig::pool_headroom is wired).
+  std::size_t saturated_dispatches = 0;
   // Packing-engine counters: arrivals absorbed by the incremental fast path
   // vs. from-scratch solver runs (sort-by-area ablation mode only).
   std::size_t incremental_adds = 0;
@@ -116,6 +131,12 @@ class SloAwareInvoker {
   }
   [[nodiscard]] std::size_t forced_flushes() const {
     return stats_.forced_flushes;
+  }
+  [[nodiscard]] const std::string& pool_key() const {
+    return config_.pool_key;
+  }
+  [[nodiscard]] std::size_t saturated_dispatches() const {
+    return stats_.saturated_dispatches;
   }
   [[nodiscard]] std::size_t incremental_adds() const {
     return stats_.incremental_adds;

@@ -21,13 +21,14 @@ std::string slo_class_key(double slo_s) {
 InvokerPool::InvokerPool(sim::Simulator& simulator, StitchSolver solver,
                          const LatencyEstimator& estimator,
                          InvokerConfig config, ShardPolicy policy,
-                         InvokeFn invoke)
+                         ShardInvokeFn invoke, ShardSetupFn shard_setup)
     : sim_(simulator),
       solver_(solver),
       estimator_(estimator),
-      config_(config),
+      config_(std::move(config)),
       policy_(std::move(policy)),
-      invoke_(std::move(invoke)) {
+      invoke_(std::move(invoke)),
+      shard_setup_(std::move(shard_setup)) {
   if (!invoke_)
     throw std::invalid_argument("InvokerPool: invoke callback required");
   if (policy_.kind == ShardPolicy::Kind::kHashStream && policy_.hash_shards < 1)
@@ -36,7 +37,8 @@ InvokerPool::InvokerPool(sim::Simulator& simulator, StitchSolver solver,
     throw std::invalid_argument("InvokerPool: custom policy needs a key_fn");
   // The legacy layout's one invoker exists from construction; reproduce that
   // exactly so a single-shard pool is indistinguishable from the old code.
-  if (policy_.kind == ShardPolicy::Kind::kSingle) (void)shard_for_key("all");
+  if (policy_.kind == ShardPolicy::Kind::kSingle)
+    (void)shard_for_key("all", StreamConfig{});
 }
 
 std::string InvokerPool::key_for(StreamId stream,
@@ -58,18 +60,24 @@ std::string InvokerPool::key_for(StreamId stream,
   throw std::logic_error("InvokerPool: unknown shard policy");
 }
 
-int InvokerPool::shard_for_key(const std::string& key) {
+int InvokerPool::shard_for_key(const std::string& key,
+                               const StreamConfig& first_stream) {
   for (std::size_t i = 0; i < keys_.size(); ++i)
     if (keys_[i] == key) return static_cast<int>(i);
+  const int index = static_cast<int>(shards_.size());
+  InvokerConfig shard_config = config_;
+  // Capacity wiring point: the setup hook stamps pool_key / pool_headroom
+  // into this shard's config (after defining the pool on the platform).
+  if (shard_setup_) shard_setup_(index, key, first_stream, shard_config);
   keys_.push_back(key);
   shards_.push_back(std::make_unique<SloAwareInvoker>(
-      sim_, solver_, estimator_, config_,
-      [this](Batch&& batch) { invoke_(std::move(batch)); }));
-  return static_cast<int>(shards_.size()) - 1;
+      sim_, solver_, estimator_, std::move(shard_config),
+      [this, index](Batch&& batch) { invoke_(index, std::move(batch)); }));
+  return index;
 }
 
 int InvokerPool::route(StreamId stream, const StreamConfig& config) {
-  return shard_for_key(key_for(stream, config));
+  return shard_for_key(key_for(stream, config), config);
 }
 
 void InvokerPool::on_patch(int shard, Patch patch) {

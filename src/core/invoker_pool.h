@@ -78,12 +78,24 @@ struct ShardPolicy {
 class InvokerPool {
  public:
   using InvokeFn = SloAwareInvoker::InvokeFn;
+  // Shard-aware variant: receives the index of the shard that formed the
+  // batch, so the caller can route it to that shard's capacity pool.
+  using ShardInvokeFn = std::function<void(int shard, Batch&&)>;
+  // Called once per shard, just before the shard is constructed, with the
+  // shard's index, policy key, and the StreamConfig whose registration
+  // created it (a default StreamConfig for kSingle's eager shard).  Mutate
+  // `config` to wire per-shard capacity: stamp InvokerConfig::pool_key /
+  // pool_headroom after defining a CapacityPool on the platform.
+  using ShardSetupFn = std::function<void(
+      int shard, const std::string& key, const StreamConfig& first_stream,
+      InvokerConfig& config)>;
 
   // `estimator` must outlive the pool; all shards share it.  Each shard gets
   // its own StitchSolver copy (stateless) and its own canvas session.
   InvokerPool(sim::Simulator& simulator, StitchSolver solver,
               const LatencyEstimator& estimator, InvokerConfig config,
-              ShardPolicy policy, InvokeFn invoke);
+              ShardPolicy policy, ShardInvokeFn invoke,
+              ShardSetupFn shard_setup = nullptr);
 
   // Admission router: resolve the shard for a stream registering with the
   // given config, creating the shard on first sight of its key.  Returns the
@@ -114,14 +126,18 @@ class InvokerPool {
  private:
   [[nodiscard]] std::string key_for(StreamId stream,
                                     const StreamConfig& config) const;
-  [[nodiscard]] int shard_for_key(const std::string& key);  // find-or-create
+  // Find-or-create; `first_stream` is handed to the shard-setup hook when
+  // the key is new.
+  [[nodiscard]] int shard_for_key(const std::string& key,
+                                  const StreamConfig& first_stream);
 
   sim::Simulator& sim_;
   StitchSolver solver_;
   const LatencyEstimator& estimator_;
   InvokerConfig config_;
   ShardPolicy policy_;
-  InvokeFn invoke_;
+  ShardInvokeFn invoke_;
+  ShardSetupFn shard_setup_;
 
   std::vector<std::string> keys_;  // parallel to shards_
   std::vector<std::unique_ptr<SloAwareInvoker>> shards_;

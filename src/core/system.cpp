@@ -47,7 +47,25 @@ TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
   pool_ = std::make_unique<InvokerPool>(
       simulator, StitchSolver(config_.heuristic), *estimator_, inv,
       config_.sharding,
-      [this](Batch&& batch) { dispatch(std::move(batch)); });
+      [this](int shard, Batch&& batch) { dispatch(shard, std::move(batch)); },
+      // Capacity wiring: when a shard is created, carve its pool out of the
+      // platform fleet and stamp the shard config so batch dispatch (and the
+      // shard's saturation telemetry) run against that pool.
+      [this](int shard, const std::string& key, const StreamConfig& stream,
+             InvokerConfig& shard_config) {
+        if (static_cast<std::size_t>(shard) >= shard_pools_.size())
+          shard_pools_.resize(static_cast<std::size_t>(shard) + 1, 0);
+        if (!config_.pool_for_shard) return;
+        const serverless::CapacityPoolConfig pool =
+            config_.pool_for_shard(key, stream);
+        if (pool.name.empty()) return;
+        const int pool_idx = platform_->define_pool(pool);
+        shard_pools_[static_cast<std::size_t>(shard)] = pool_idx;
+        shard_config.pool_key = pool.name;
+        shard_config.pool_headroom = [platform = platform_.get(), pool_idx] {
+          return platform->pool_headroom(pool_idx);
+        };
+      });
 }
 
 StreamId TangramSystem::register_stream(StreamConfig config) {
@@ -94,7 +112,7 @@ void TangramSystem::submit(StreamId stream, Patch patch) {
 
 void TangramSystem::flush() { pool_->flush(); }
 
-void TangramSystem::dispatch(Batch&& batch) {
+void TangramSystem::dispatch(int shard, Batch&& batch) {
   // Queue-to-invoke latency is known the moment the batch forms; record it
   // per stream before the function round-trip.
   for (const auto& canvas : batch.canvases)
@@ -102,24 +120,27 @@ void TangramSystem::dispatch(Batch&& batch) {
       streams_[static_cast<std::size_t>(patch.stream_id)].queue_to_invoke.add(
           batch.invoke_time - patch.arrival_time);
 
-  // Paper API 2: invoke(canvases) — one serverless call per batch.
+  // Paper API 2: invoke(canvases) — one serverless call per batch, routed
+  // to the shard's capacity pool (index 0 = the platform default pool).
   serverless::RequestSpec spec;
   spec.num_canvases = batch.canvas_count();
   spec.canvas = config_.canvas;
   spec.num_items = batch.total_patches;
-  platform_->invoke(spec, [this, batch = std::move(batch)](
-                              const serverless::InvocationRecord& record) {
-    for (const auto& canvas : batch.canvases) {
-      for (const auto& patch : canvas.patches) {
-        auto& stats = streams_[static_cast<std::size_t>(patch.stream_id)];
-        ++stats.patches_completed;
-        stats.e2e_latency.add(record.finish_time - patch.generation_time);
-        if (record.finish_time > patch.deadline() + 1e-9)
-          ++stats.slo_violations;
-        if (on_result_) on_result_(patch, record);
-      }
-    }
-  });
+  platform_->invoke(
+      spec, shard_pools_[static_cast<std::size_t>(shard)],
+      [this, batch = std::move(batch)](
+          const serverless::InvocationRecord& record) {
+        for (const auto& canvas : batch.canvases) {
+          for (const auto& patch : canvas.patches) {
+            auto& stats = streams_[static_cast<std::size_t>(patch.stream_id)];
+            ++stats.patches_completed;
+            stats.e2e_latency.add(record.finish_time - patch.generation_time);
+            if (record.finish_time > patch.deadline() + 1e-9)
+              ++stats.slo_violations;
+            if (on_result_) on_result_(patch, record);
+          }
+        }
+      });
 }
 
 }  // namespace tangram::core

@@ -67,6 +67,16 @@ struct StreamStats {
 
 class TangramSystem {
  public:
+  // Capacity-pool wiring: maps an invoker shard (identified by its
+  // ShardPolicy key and the StreamConfig whose registration created it — a
+  // default StreamConfig for kSingle's eager shard) to a CapacityPool
+  // carved out of platform.max_instances.  Returning a config with an empty
+  // name leaves the shard on the platform's default pool (legacy
+  // behaviour).  Distinct shards may share a pool by returning the same
+  // name and limits.
+  using PoolAssignFn = std::function<serverless::CapacityPoolConfig(
+      const std::string& shard_key, const StreamConfig& first_stream)>;
+
   struct Config {
     common::Size canvas{1024, 1024};
     double slack_sigma = 3.0;  // Eqn. (9) multiplier
@@ -77,6 +87,8 @@ class TangramSystem {
     // Invoker-pool layout; default shards by SLO class.  ShardPolicy::single()
     // reproduces the legacy one-invoker layout byte-for-byte.
     ShardPolicy sharding;
+    // Null = every shard invokes through the platform's default pool.
+    PoolAssignFn pool_for_shard;
     std::uint64_t seed = 2024;
   };
 
@@ -134,13 +146,16 @@ class TangramSystem {
 
  private:
   void submit(StreamId stream, Patch patch);
-  void dispatch(Batch&& batch);
+  void dispatch(int shard, Batch&& batch);
 
   Config config_;
   ResultFn on_result_;
   std::unique_ptr<serverless::FunctionPlatform> platform_;
   std::unique_ptr<LatencyEstimator> estimator_;  // shared by every shard
   std::unique_ptr<InvokerPool> pool_;
+  // Capacity-pool index per invoker shard (0 = the platform default pool),
+  // filled by the shard-setup hook so dispatch skips the name lookup.
+  std::vector<int> shard_pools_;
   std::vector<StreamStats> streams_;
 };
 

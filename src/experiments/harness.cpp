@@ -171,6 +171,7 @@ RunResult run_end_to_end(const std::vector<const SceneTrace*>& cameras,
   result.total_cost = platform.total_cost();
   result.invocations = platform.invocations();
   result.instances_created = platform.instances_created();
+  result.fleet_size = platform.fleet_size();
   result.stragglers = platform.stragglers();
   result.retries = platform.retries();
   result.exec_latency = platform.execution_latency();
@@ -224,6 +225,7 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   system_config.platform = config.platform;
   system_config.function_latency = config.latency;
   system_config.sharding = config.sharding;
+  system_config.pool_for_shard = config.pool_for_shard;
   system_config.seed = config.seed;
   core::TangramSystem system(sim, system_config, nullptr);
 
@@ -290,17 +292,54 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   result.canvas_efficiency = invoker_stats.canvas_efficiency;
   result.makespan_s = sim.now();
   result.events_executed = sim.events_executed();
+  result.pools = system.platform().pool_telemetry();
+  result.cold_starts = system.platform().cold_starts();
+  result.cold_start_setup = system.platform().cold_start_setup();
+  result.fleet_size = system.platform().fleet_size();
   return result;
+}
+
+core::TangramSystem::PoolAssignFn reserved_tight_pool_plan(
+    double tight_slo_threshold, int tight_reserved, int loose_burst_limit) {
+  return [tight_slo_threshold, tight_reserved, loose_burst_limit](
+             const std::string&, const core::StreamConfig& stream) {
+    serverless::CapacityPoolConfig pool;
+    if (stream.slo_s > 0.0 && stream.slo_s <= tight_slo_threshold) {
+      pool.name = "tight";
+      pool.reserved = tight_reserved;
+    } else {
+      pool.name = "loose";
+      pool.burst_limit = loose_burst_limit > 0 ? loose_burst_limit : -1;
+    }
+    return pool;
+  };
 }
 
 ShardedRunResult run_sharded(const std::vector<const SceneTrace*>& cameras,
                              const MultiStreamConfig& config) {
+  // The single/sharded legs measure the invoker layout alone: strip the
+  // capacity plan AND any autoscale policy so they keep matching the PR-2
+  // baselines byte-for-byte; only the reserved leg runs the caller's
+  // provisioning config.
   MultiStreamConfig single_config = config;
   single_config.sharding = core::ShardPolicy::single();
+  single_config.pool_for_shard = nullptr;
+  single_config.platform.autoscale = serverless::AutoscalePolicy{};
   MultiStreamConfig sharded_config = config;
   sharded_config.sharding = core::ShardPolicy::per_slo_class();
-  return ShardedRunResult{run_multistream(cameras, single_config),
-                          run_multistream(cameras, sharded_config)};
+  sharded_config.pool_for_shard = nullptr;
+  sharded_config.platform.autoscale = serverless::AutoscalePolicy{};
+
+  ShardedRunResult result;
+  result.single = run_multistream(cameras, single_config);
+  result.sharded = run_multistream(cameras, sharded_config);
+  if (config.pool_for_shard) {
+    MultiStreamConfig reserved_config = config;
+    reserved_config.sharding = core::ShardPolicy::per_slo_class();
+    result.sharded_reserved = run_multistream(cameras, reserved_config);
+    result.has_reserved = true;
+  }
+  return result;
 }
 
 PerFrameCostResult per_frame_cost(const SceneTrace& trace, StrategyKind kind,

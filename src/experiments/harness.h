@@ -71,7 +71,8 @@ struct RunResult {
   std::string strategy;
   double total_cost = 0.0;
   std::size_t invocations = 0;
-  int instances_created = 0;
+  int instances_created = 0;  // environments booted (= cold starts)
+  int fleet_size = 0;         // instance slots: the concurrency peak
   std::size_t stragglers = 0;  // fault injection counters
   std::size_t retries = 0;
   std::size_t completed_items = 0;  // patches (or frames) finished
@@ -118,8 +119,20 @@ struct MultiStreamConfig {
   // core::ShardPolicy::single() reproduces the pre-pool single-invoker runs
   // byte-for-byte.
   core::ShardPolicy sharding;
+  // Capacity-pool wiring: maps each invoker shard to a reserved-concurrency
+  // pool carved out of platform.max_instances (see TangramSystem::Config).
+  // Null = every shard on the platform's default pool (legacy behaviour).
+  // Autoscaling is configured through platform.autoscale.
+  core::TangramSystem::PoolAssignFn pool_for_shard;
   std::uint64_t seed = 7;
 };
+
+// Ready-made capacity plan for mixed-SLO fleets: shards whose SLO class is
+// <= tight_slo_threshold share a "tight" pool with `tight_reserved`
+// guaranteed instances; every other shard shares a "loose" pool capped at
+// `loose_burst_limit` concurrent instances (<= 0: uncapped).
+[[nodiscard]] core::TangramSystem::PoolAssignFn reserved_tight_pool_plan(
+    double tight_slo_threshold, int tight_reserved, int loose_burst_limit);
 
 struct MultiStreamResult {
   std::vector<core::StreamStats> streams;  // per-stream telemetry
@@ -137,6 +150,13 @@ struct MultiStreamResult {
   std::uint64_t events_executed = 0;
   common::Sampler batch_canvases;
   common::Sampler canvas_efficiency;
+  // Platform capacity telemetry: one entry per capacity pool (default pool
+  // first), each with instance peaks, cold starts, backlog-depth quantiles,
+  // and the autoscaler's per-tick time series when a policy is active.
+  std::vector<serverless::PoolTelemetry> pools;
+  std::uint64_t cold_starts = 0;
+  common::Sampler cold_start_setup;  // setup seconds per cold start
+  int fleet_size = 0;                // instance slots (concurrency peak)
 
   [[nodiscard]] double violation_rate() const {
     return patches_completed
@@ -157,12 +177,18 @@ struct MultiStreamResult {
     const MultiStreamConfig& config);
 
 // The 1-vs-K-shards comparison: the same cameras and mixed SLO classes run
-// twice on identical arrival schedules — once on a single shared invoker
-// shard (the paper's layout, head-of-line blocking included) and once with
-// one shard per SLO class behind the admission router.
+// on identical arrival schedules — once on a single shared invoker shard
+// (the paper's layout, head-of-line blocking included), once with one shard
+// per SLO class behind the admission router, and (when the config wires
+// capacity pools via pool_for_shard) once more with per-class shards
+// dispatching into reserved-concurrency pools.
 struct ShardedRunResult {
   MultiStreamResult single;   // ShardPolicy::single()
   MultiStreamResult sharded;  // ShardPolicy::per_slo_class()
+  // per_slo_class() + config.pool_for_shard; only meaningful when
+  // has_reserved is true (the config wired pools).
+  MultiStreamResult sharded_reserved;
+  bool has_reserved = false;
 };
 
 [[nodiscard]] ShardedRunResult run_sharded(

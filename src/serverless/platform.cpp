@@ -3,8 +3,35 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace tangram::serverless {
+
+namespace {
+
+// Resolve + validate a pool definition against the fleet cap.
+CapacityPoolConfig resolve_pool(const CapacityPoolConfig& pool,
+                                int max_instances) {
+  if (pool.name.empty())
+    throw std::invalid_argument("CapacityPool: name must be non-empty");
+  CapacityPoolConfig resolved = pool;
+  if (resolved.burst_limit < 0) resolved.burst_limit = max_instances;
+  if (resolved.reserved < 0)
+    throw std::invalid_argument("CapacityPool '" + pool.name +
+                                "': reserved must be >= 0");
+  if (resolved.burst_limit < 1)
+    throw std::invalid_argument("CapacityPool '" + pool.name +
+                                "': burst_limit must be >= 1");
+  if (resolved.burst_limit > max_instances)
+    throw std::invalid_argument("CapacityPool '" + pool.name +
+                                "': burst_limit exceeds max_instances");
+  if (resolved.reserved > resolved.burst_limit)
+    throw std::invalid_argument("CapacityPool '" + pool.name +
+                                "': reserved exceeds burst_limit");
+  return resolved;
+}
+
+}  // namespace
 
 FunctionPlatform::FunctionPlatform(sim::Simulator& simulator,
                                    PlatformConfig config,
@@ -16,6 +43,106 @@ FunctionPlatform::FunctionPlatform(sim::Simulator& simulator,
       fault_rng_(seed ^ 0xFA17ED, 15) {
   if (config_.max_instances < 1)
     throw std::invalid_argument("FunctionPlatform: max_instances must be >=1");
+  if (config_.autoscale.kind != AutoscalePolicy::Kind::kStatic &&
+      config_.autoscale.interval_s <= 0.0)
+    throw std::invalid_argument(
+        "FunctionPlatform: autoscale interval_s must be > 0");
+  if (config_.autoscale.step < 1)
+    throw std::invalid_argument("FunctionPlatform: autoscale step must be >=1");
+  // The default pool always exists and spans the whole fleet, so an
+  // un-pooled platform behaves exactly as before pools existed.
+  (void)define_pool({kDefaultPool, 0, config_.max_instances});
+  for (const CapacityPoolConfig& pool : config_.pools) (void)define_pool(pool);
+}
+
+int FunctionPlatform::define_pool(const CapacityPoolConfig& config) {
+  const CapacityPoolConfig resolved =
+      resolve_pool(config, config_.max_instances);
+  int reserved_total = resolved.reserved;
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    const Pool& existing = pools_[i];
+    if (existing.name == resolved.name) {
+      if (existing.reserved != resolved.reserved ||
+          existing.burst_limit != resolved.burst_limit)
+        throw std::invalid_argument("CapacityPool '" + resolved.name +
+                                    "': redefined with different limits");
+      return static_cast<int>(i);
+    }
+    reserved_total += existing.reserved;
+  }
+  if (reserved_total > config_.max_instances)
+    throw std::invalid_argument(
+        "CapacityPool '" + resolved.name +
+        "': pool reservations exceed max_instances (" +
+        std::to_string(reserved_total) + " > " +
+        std::to_string(config_.max_instances) + ")");
+
+  Pool pool;
+  pool.name = resolved.name;
+  pool.reserved = resolved.reserved;
+  pool.burst_limit = resolved.burst_limit;
+  const int floor_limit = std::max(1, pool.reserved);
+  pool.limit = config_.autoscale.initial_limit == 0
+                   ? pool.burst_limit
+                   : std::clamp(config_.autoscale.initial_limit, floor_limit,
+                                pool.burst_limit);
+  pools_.push_back(std::move(pool));
+  return static_cast<int>(pools_.size()) - 1;
+}
+
+int FunctionPlatform::pool_index(const std::string& name) const {
+  for (std::size_t i = 0; i < pools_.size(); ++i)
+    if (pools_[i].name == name) return static_cast<int>(i);
+  throw std::out_of_range("FunctionPlatform: unknown capacity pool '" + name +
+                          "'");
+}
+
+int FunctionPlatform::unmet_reservations_excluding(int pool) const {
+  int unmet = 0;
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (static_cast<int>(i) == pool) continue;
+    unmet += std::max(0, pools_[i].reserved - pools_[i].in_use);
+  }
+  return unmet;
+}
+
+int FunctionPlatform::pool_headroom(int pool) const {
+  const Pool& p = pools_.at(static_cast<std::size_t>(pool));
+  // Guaranteed lane: slack below the pool's own reservation.  Unreserved
+  // lane: fleet slots not in use and not owed to any pool's reservation
+  // (including this pool's own unmet share, which the guaranteed term
+  // already counts).
+  const int guaranteed = std::max(0, p.reserved - p.in_use);
+  const int unreserved_free =
+      config_.max_instances - total_in_use_ - guaranteed -
+      unmet_reservations_excluding(pool);
+  const int physical = guaranteed + std::max(0, unreserved_free);
+  return std::max(0, std::min(p.limit - p.in_use, physical));
+}
+
+PoolTelemetry FunctionPlatform::pool_telemetry(int pool) const {
+  const Pool& p = pools_.at(static_cast<std::size_t>(pool));
+  PoolTelemetry t;
+  t.name = p.name;
+  t.reserved = p.reserved;
+  t.burst_limit = p.burst_limit;
+  t.limit = p.limit;
+  t.in_use = p.in_use;
+  t.peak_in_use = p.peak_in_use;
+  t.dispatched = p.dispatched;
+  t.cold_starts = p.cold_starts;
+  t.backlogged = p.backlogged;
+  t.backlog_depth = p.backlog_depth;
+  t.series = p.series;
+  return t;
+}
+
+std::vector<PoolTelemetry> FunctionPlatform::pool_telemetry() const {
+  std::vector<PoolTelemetry> all;
+  all.reserve(pools_.size());
+  for (std::size_t i = 0; i < pools_.size(); ++i)
+    all.push_back(pool_telemetry(static_cast<int>(i)));
+  return all;
 }
 
 int FunctionPlatform::max_canvases_per_batch(common::Size canvas) const {
@@ -48,6 +175,24 @@ int FunctionPlatform::find_idle_warm_instance() {
 }
 
 void FunctionPlatform::invoke(const RequestSpec& spec, Callback on_complete) {
+  invoke_on_pool(spec, 0, std::move(on_complete));
+}
+
+void FunctionPlatform::invoke(const RequestSpec& spec, const std::string& pool,
+                              Callback on_complete) {
+  invoke_on_pool(spec, pool_index(pool), std::move(on_complete));
+}
+
+void FunctionPlatform::invoke(const RequestSpec& spec, int pool,
+                              Callback on_complete) {
+  if (pool < 0 || static_cast<std::size_t>(pool) >= pools_.size())
+    throw std::out_of_range("FunctionPlatform: capacity pool index " +
+                            std::to_string(pool) + " out of range");
+  invoke_on_pool(spec, pool, std::move(on_complete));
+}
+
+void FunctionPlatform::invoke_on_pool(const RequestSpec& spec, int pool,
+                                      Callback on_complete) {
   if (spec.num_canvases > 0 &&
       spec.num_canvases > max_canvases_per_batch(spec.canvas))
     throw std::invalid_argument(
@@ -55,13 +200,20 @@ void FunctionPlatform::invoke(const RequestSpec& spec, Callback on_complete) {
   if (spec.num_canvases <= 0 && spec.image_megapixels <= 0.0)
     throw std::invalid_argument("FunctionPlatform::invoke: empty request");
 
-  Pending pending{spec, std::move(on_complete), sim_.now()};
-  if (has_capacity()) {
-    dispatch(std::move(pending));
-  } else {
-    // All instances busy and fleet at max: FIFO backlog, drained on finish.
+  maybe_arm_autoscaler();
+  Pending pending{spec, std::move(on_complete), sim_.now(), pool};
+  Pool& p = pools_[static_cast<std::size_t>(pool)];
+  // FIFO: a new arrival never jumps ahead of its pool's waiting requests.
+  // The backlogged check matters at completion timestamps — an arrival
+  // sequenced before the completion's drain callback would otherwise see
+  // the freed instance and dispatch past the backlog head.
+  if (p.backlogged > 0 || !pool_has_capacity(pool)) {
+    ++p.backlogged;
+    p.backlog_depth.add(static_cast<double>(p.backlogged));
     backlog_.push_back(std::move(pending));
+    return;
   }
+  dispatch(std::move(pending));
 }
 
 int FunctionPlatform::find_cooled_slot() const {
@@ -71,15 +223,6 @@ int FunctionPlatform::find_cooled_slot() const {
       return i;
   }
   return -1;
-}
-
-bool FunctionPlatform::has_capacity() const {
-  const int n = static_cast<int>(instances_.size());
-  for (int i = 0; i < n; ++i) {
-    const Instance& inst = instances_[static_cast<std::size_t>(i)];
-    if (inst.busy_until <= sim_.now()) return true;  // warm-idle or cooled
-  }
-  return n < config_.max_instances;
 }
 
 void FunctionPlatform::dispatch(Pending pending) {
@@ -102,9 +245,32 @@ void FunctionPlatform::dispatch(Pending pending) {
                     std::move(pending), /*cold=*/true);
 }
 
+void FunctionPlatform::drain_backlog() {
+  if (backlog_.empty()) return;
+  // Strict FIFO within each pool: once a pool's head entry cannot start,
+  // every later entry of that pool stays queued this round; other pools'
+  // entries keep draining past it.
+  drain_scratch_.assign(pools_.size(), 0);
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < backlog_.size(); ++read) {
+    Pending& entry = backlog_[read];
+    const auto pool = static_cast<std::size_t>(entry.pool);
+    if (drain_scratch_[pool] == 0 && pool_has_capacity(entry.pool)) {
+      --pools_[pool].backlogged;
+      dispatch(std::move(entry));
+      continue;
+    }
+    drain_scratch_[pool] = 1;
+    if (write != read) backlog_[write] = std::move(entry);
+    ++write;
+  }
+  backlog_.resize(write);
+}
+
 void FunctionPlatform::start_on_instance(int instance, Pending pending,
                                          bool cold) {
   Instance& inst = instances_[static_cast<std::size_t>(instance)];
+  Pool& pool = pools_[static_cast<std::size_t>(pending.pool)];
 
   const auto sample_exec = [&] {
     return pending.spec.num_canvases > 0
@@ -142,8 +308,10 @@ void FunctionPlatform::start_on_instance(int instance, Pending pending,
   record.start_time = sim_.now() + setup;
   record.finish_time = record.start_time + exec;
   record.execution_s = exec;
+  record.setup_s = setup;
   record.cost = invocation_cost(exec, config_.resources, config_.pricing);
   record.instance_id = instance;
+  record.pool = pending.pool;
   record.cold_start = cold;
   record.straggler = straggler;
   record.attempts = attempts;
@@ -153,6 +321,18 @@ void FunctionPlatform::start_on_instance(int instance, Pending pending,
   inst.busy_until = record.finish_time;
   inst.warm_until = record.finish_time + config_.keepalive_s;
 
+  ++total_in_use_;
+  ++pool.in_use;
+  pool.peak_in_use = std::max(pool.peak_in_use, pool.in_use);
+  ++pool.dispatched;
+  if (cold) {
+    // Every cold start boots a fresh execution environment, whether the slot
+    // is new or a cooled-down one being re-provisioned.
+    ++cold_starts_;
+    ++pool.cold_starts;
+    cold_start_setup_.add(setup);
+  }
+
   total_cost_ += record.cost;
   busy_seconds_ += exec;
   execution_latency_.add(exec);
@@ -160,14 +340,82 @@ void FunctionPlatform::start_on_instance(int instance, Pending pending,
 
   sim_.schedule_at(record.finish_time,
                    [this, record, cb = std::move(pending.callback)]() {
+                     // Free the capacity before the callback runs, so work
+                     // the callback submits sees the slot (and drain below
+                     // keeps FIFO for anything already waiting).
+                     --total_in_use_;
+                     --pools_[static_cast<std::size_t>(record.pool)].in_use;
                      if (cb) cb(record);
-                     // Drain the backlog now that an instance freed up.
-                     while (!backlog_.empty() && has_capacity()) {
-                       Pending next = std::move(backlog_.front());
-                       backlog_.pop_front();
-                       dispatch(std::move(next));
-                     }
+                     drain_backlog();
                    });
+}
+
+void FunctionPlatform::maybe_arm_autoscaler() {
+  if (config_.autoscale.kind == AutoscalePolicy::Kind::kStatic) return;
+  if (autoscale_timer_.pending()) return;
+  autoscale_timer_ =
+      sim_.schedule_in(config_.autoscale.interval_s, [this] {
+        autoscale_tick();
+      });
+}
+
+int FunctionPlatform::autoscale_decision(const Pool& pool) const {
+  const AutoscalePolicy& policy = config_.autoscale;
+  const int floor_limit = std::max(1, pool.reserved);
+  int limit = pool.limit;
+  switch (policy.kind) {
+    case AutoscalePolicy::Kind::kStatic:
+      return limit;
+    case AutoscalePolicy::Kind::kTargetUtilization: {
+      const double utilization = static_cast<double>(pool.in_use) /
+                                 static_cast<double>(std::max(1, limit));
+      if (utilization >= policy.scale_up_utilization ||
+          pool.backlogged > 0) {
+        limit += policy.step;
+      } else if (utilization <= policy.scale_down_utilization) {
+        limit -= policy.step;
+      }
+      break;
+    }
+    case AutoscalePolicy::Kind::kQueuePressure: {
+      if (pool.backlogged >= policy.backlog_scale_up) {
+        limit += policy.step;
+      } else if (pool.backlogged == 0 && pool.in_use < limit) {
+        limit -= policy.step;
+      }
+      break;
+    }
+  }
+  return std::clamp(limit, floor_limit, pool.burst_limit);
+}
+
+void FunctionPlatform::autoscale_tick() {
+  bool limits_moved = false;
+  for (Pool& pool : pools_) {
+    const int next = autoscale_decision(pool);
+    limits_moved |= next != pool.limit;
+    pool.limit = next;
+    pool.series.push_back(AutoscaleSample{sim_.now(), pool.in_use, pool.limit,
+                                          pool.backlogged,
+                                          pool.cold_starts});
+  }
+  // Raised limits may unblock waiting requests.
+  const std::size_t backlog_before = backlog_.size();
+  drain_backlog();
+  // Self-stopping: re-arm only while a future tick can observe something
+  // new.  With nothing in flight, no limit moving, and nothing drained, the
+  // platform is at a fixed point — ticks are a deterministic function of
+  // (in_use, limit, backlog), so the next tick would decide identically
+  // forever.  That covers both the drained-workload case and a permanently
+  // starved backlog (e.g. reservations summing to the whole fleet): the
+  // simulation terminates with queued_requests() > 0 instead of ticking
+  // unboundedly.  A later invoke() re-arms the timer.
+  const bool progressed = limits_moved || backlog_.size() != backlog_before;
+  if (total_in_use_ > 0 || (!backlog_.empty() && progressed))
+    autoscale_timer_ =
+        sim_.schedule_in(config_.autoscale.interval_s, [this] {
+          autoscale_tick();
+        });
 }
 
 }  // namespace tangram::serverless

@@ -7,19 +7,59 @@
 //  * keep-alive: instances stay warm for `keepalive_s` after last use and
 //    are then reclaimed,
 //  * per-instance concurrency = 1 (the paper's configuration), with FIFO
-//    queueing once `max_instances` is reached,
+//    queueing once capacity is exhausted,
 //  * GPU memory constraint: a batch of B canvases needs
 //    B * canvas_gpu_gb + model_gpu_gb <= resources.gpu_gb (constraint (5)),
 //  * pay-per-use billing via cost.h (Eqn. (1)).
 //
 // Dispatch across warm instances is round-robin, standing in for the
 // prototype's NGINX default load balancing.
+//
+// Capacity pools (reserved concurrency).  `max_instances` caps the whole
+// fleet; named CapacityPools carve that total into per-class concurrency
+// domains, the platform analogue of AWS Lambda's reserved concurrency /
+// Alibaba FC's provisioned instances.  A pool guarantees `reserved`
+// concurrent instances (other pools can never occupy them) and is capped at
+// `burst_limit` concurrent instances (it can never occupy more, however idle
+// the fleet).  Physical instances stay fungible — a warm instance serves any
+// pool, since every pool runs the same function image — only the concurrency
+// accounting is partitioned.  The "default" pool (reserved 0, burst
+// `max_instances`) always exists and reproduces the un-pooled platform
+// exactly; `invoke()` without a pool key lands there.
+//
+// Queueing conventions (FIFO, no queue-jumping):
+//  * A request that cannot start — its pool is at its limit, blocked by
+//    other pools' unmet reservations, or the fleet is saturated — joins the
+//    backlog.  A request whose pool already has backlogged requests ALSO
+//    joins, even if capacity is momentarily free: an arrival at the same
+//    simulated timestamp as a completion (but sequenced before the
+//    completion's drain callback) must not jump the queue ahead of older
+//    waiting requests.
+//  * The backlog drains strictly FIFO within each pool; a pool blocked at
+//    the head of the queue never blocks another pool's older requests.
+//
+// Billing conventions: `execution_s` is billed GPU time only — cold-start
+// `setup_s` seconds (and cold-spike inflation) delay `start_time` but are
+// explicitly NOT billed and NOT part of `execution_s`, matching
+// pay-per-use serverless GPU pricing where start-up is the provider's cost.
+// Cold starts are surfaced through `cold_starts()` / `cold_start_setup()`
+// and per-pool telemetry instead.
+//
+// Autoscaling.  `AutoscalePolicy` adjusts each pool's current concurrency
+// limit on a repeating sim-timer (between max(1, reserved) and the pool's
+// burst_limit): kStatic never moves it (and schedules no timer, so the
+// default configuration is event-for-event identical to the pre-pool
+// platform), kTargetUtilization tracks in_use/limit against scale-up/-down
+// thresholds, kQueuePressure reacts to per-pool backlog depth.  Every tick
+// appends an AutoscaleSample per pool, giving instance-count dynamics as a
+// time series.
 
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -47,6 +87,94 @@ struct FailureInjection {
   }
 };
 
+// One named concurrency domain carved out of max_instances.
+struct CapacityPoolConfig {
+  std::string name;
+  // Concurrent instances guaranteed to this pool: once reserved, other
+  // pools can never occupy them, so a request here (below `reserved`
+  // in-flight) starts immediately when submitted — at worst paying a cold
+  // start.  Reservations are not retroactive: work dispatched BEFORE the
+  // pool was defined is never pre-empted, so a pool created mid-run on a
+  // saturated fleet gains its guarantee as that pre-existing load drains.
+  int reserved = 0;
+  // Hard cap on this pool's concurrent instances; -1 means max_instances.
+  int burst_limit = -1;
+};
+
+// Pluggable per-pool limit controller, evaluated every `interval_s` of
+// simulated time while the platform has work in flight (the timer is
+// self-stopping: it re-arms only while instances are busy or requests are
+// backlogged, so a run() that drains the workload terminates).
+struct AutoscalePolicy {
+  enum class Kind {
+    kStatic,             // limits never move; NO timer is scheduled
+    kTargetUtilization,  // track in_use/limit against utilization thresholds
+    kQueuePressure,      // react to per-pool backlog depth
+  };
+
+  Kind kind = Kind::kStatic;
+  double interval_s = 0.5;  // evaluation period (must be > 0 when non-static)
+  // kTargetUtilization: scale up when in_use/limit >= up, down when <= down
+  // (and nothing is backlogged).
+  double scale_up_utilization = 0.90;
+  double scale_down_utilization = 0.30;
+  // kQueuePressure: scale up when the pool's backlog >= this many requests;
+  // scale down when the backlog is empty and the pool has idle headroom.
+  std::size_t backlog_scale_up = 1;
+  int step = 1;           // instances added/removed per decision
+  // Starting limit for every pool: 0 = the pool's burst_limit (so kStatic
+  // reproduces the fixed-capacity platform); otherwise clamped to
+  // [max(1, reserved), burst_limit].
+  int initial_limit = 0;
+
+  [[nodiscard]] static AutoscalePolicy static_policy() { return {}; }
+  [[nodiscard]] static AutoscalePolicy target_utilization(
+      double up = 0.90, double down = 0.30, double interval_s = 0.5,
+      int initial_limit = 1) {
+    AutoscalePolicy p;
+    p.kind = Kind::kTargetUtilization;
+    p.scale_up_utilization = up;
+    p.scale_down_utilization = down;
+    p.interval_s = interval_s;
+    p.initial_limit = initial_limit;
+    return p;
+  }
+  [[nodiscard]] static AutoscalePolicy queue_pressure(
+      std::size_t backlog_high = 1, double interval_s = 0.5,
+      int initial_limit = 1) {
+    AutoscalePolicy p;
+    p.kind = Kind::kQueuePressure;
+    p.backlog_scale_up = backlog_high;
+    p.interval_s = interval_s;
+    p.initial_limit = initial_limit;
+    return p;
+  }
+};
+
+// One autoscaler tick's observation of one pool (post-decision limit).
+struct AutoscaleSample {
+  double time = 0.0;
+  int in_use = 0;
+  int limit = 0;
+  std::size_t backlog = 0;
+  std::uint64_t cold_starts = 0;  // cumulative
+};
+
+// Snapshot of one pool's configuration + lifetime telemetry.
+struct PoolTelemetry {
+  std::string name;
+  int reserved = 0;
+  int burst_limit = 0;
+  int limit = 0;    // current (autoscaled) concurrency limit
+  int in_use = 0;   // instances currently running this pool's requests
+  int peak_in_use = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t cold_starts = 0;
+  std::size_t backlogged = 0;        // currently waiting
+  common::Sampler backlog_depth;     // pool backlog length at each enqueue
+  std::vector<AutoscaleSample> series;  // one entry per autoscaler tick
+};
+
 struct PlatformConfig {
   ResourceConfig resources;
   Pricing pricing;
@@ -56,6 +184,11 @@ struct PlatformConfig {
   double canvas_gpu_gb = 0.50;  // w: VRAM per canvas in a batch
   double model_gpu_gb = 1.50;   // tau: resident model weights
   FailureInjection faults;
+  // Capacity pools beyond the always-present default pool.  Reservations
+  // must sum to <= max_instances.
+  std::vector<CapacityPoolConfig> pools;
+  // Per-pool limit controller (applies to every pool, default included).
+  AutoscalePolicy autoscale;
 };
 
 // One inference request.  num_canvases > 0 selects the canvas-batch latency
@@ -73,9 +206,12 @@ struct InvocationRecord {
   double submit_time = 0.0;
   double start_time = 0.0;   // when execution began (after queue + cold start)
   double finish_time = 0.0;
-  double execution_s = 0.0;  // billed time (includes retried attempts)
+  double execution_s = 0.0;  // billed time (includes retried attempts,
+                             // EXCLUDES cold-start setup)
+  double setup_s = 0.0;      // cold-start seconds paid before start_time
   double cost = 0.0;
   int instance_id = -1;
+  int pool = 0;              // capacity-pool index (0 = default)
   bool cold_start = false;
   bool straggler = false;    // fault injection hit this invocation
   int attempts = 1;          // > 1 when a transient failure was retried
@@ -86,12 +222,26 @@ class FunctionPlatform {
  public:
   using Callback = std::function<void(const InvocationRecord&)>;
 
+  static constexpr const char* kDefaultPool = "default";
+
   FunctionPlatform(sim::Simulator& simulator, PlatformConfig config,
                    LatencyModelParams latency_params = {},
                    std::uint64_t seed = 2024);
 
-  // Submit a request; `on_complete` fires at finish time (may be empty).
+  // Submit a request to the default pool; `on_complete` fires at finish time
+  // (may be empty).
   void invoke(const RequestSpec& spec, Callback on_complete);
+  // Submit against a named capacity pool (must exist; see define_pool).
+  void invoke(const RequestSpec& spec, const std::string& pool,
+              Callback on_complete);
+  // Submit against a pool by index (as returned by define_pool /
+  // pool_index) — the hot-path variant that skips the name lookup.
+  void invoke(const RequestSpec& spec, int pool, Callback on_complete);
+
+  // Create a capacity pool at runtime (the system facade wires one per
+  // invoker shard).  Returns the pool index; re-defining an existing name
+  // with the same limits returns the existing index, different limits throw.
+  int define_pool(const CapacityPoolConfig& config);
 
   // Largest batch the GPU memory constraint admits for canvases of the given
   // size (canvas_gpu_gb is calibrated for a 1024x1024 canvas and scales with
@@ -102,11 +252,39 @@ class FunctionPlatform {
   [[nodiscard]] const PlatformConfig& config() const { return config_; }
   [[nodiscard]] InferenceLatencyModel& latency_model() { return latency_; }
 
+  // --- capacity pools -------------------------------------------------------
+  [[nodiscard]] std::size_t pool_count() const { return pools_.size(); }
+  // Index for a pool name; throws std::out_of_range on an unknown name.
+  [[nodiscard]] int pool_index(const std::string& name) const;
+  // Additional invocations the pool could start right now (0 when a new
+  // request would join the backlog): bounded by the pool's current limit,
+  // other pools' unmet reservations, and the fleet cap.
+  [[nodiscard]] int pool_headroom(int pool) const;
+  [[nodiscard]] int pool_headroom(const std::string& name) const {
+    return pool_headroom(pool_index(name));
+  }
+  [[nodiscard]] PoolTelemetry pool_telemetry(int pool) const;
+  [[nodiscard]] std::vector<PoolTelemetry> pool_telemetry() const;
+
   // --- accounting -----------------------------------------------------------
   [[nodiscard]] double total_cost() const { return total_cost_; }
   [[nodiscard]] std::uint64_t invocations() const { return next_id_; }
+  // Execution environments created over the platform's lifetime.  Every cold
+  // start boots a fresh environment — including reuse of a cooled-down slot,
+  // which the historical instances_.size() accounting missed.
   [[nodiscard]] int instances_created() const {
+    return static_cast<int>(cold_starts_);
+  }
+  // Instance slots in the fleet (never shrinks; the concurrency high-water
+  // mark of the run).
+  [[nodiscard]] int fleet_size() const {
     return static_cast<int>(instances_.size());
+  }
+  [[nodiscard]] int instances_in_use() const { return total_in_use_; }
+  [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
+  // Cold-start setup seconds per cold start (cold-spike inflation included).
+  [[nodiscard]] const common::Sampler& cold_start_setup() const {
+    return cold_start_setup_;
   }
   [[nodiscard]] std::size_t queued_requests() const { return backlog_.size(); }
   [[nodiscard]] const common::Sampler& execution_latency() const {
@@ -129,31 +307,62 @@ class FunctionPlatform {
     RequestSpec spec;
     Callback callback;
     double submit_time;
+    int pool;
+  };
+  struct Pool {
+    std::string name;
+    int reserved = 0;
+    int burst_limit = 0;  // resolved (never -1)
+    int limit = 0;        // current autoscaled limit
+    int in_use = 0;
+    int peak_in_use = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t cold_starts = 0;
+    std::size_t backlogged = 0;  // entries of this pool inside backlog_
+    common::Sampler backlog_depth;
+    std::vector<AutoscaleSample> series;
   };
 
-  // True if a request submitted now could start immediately (idle warm
-  // instance, cooled-down slot, or room to grow the fleet).
-  [[nodiscard]] bool has_capacity() const;
-  // Start `pending` now; requires has_capacity().
+  void invoke_on_pool(const RequestSpec& spec, int pool, Callback on_complete);
+  // True if a request for `pool` could start immediately.  Ignores the
+  // backlog: callers must keep FIFO by checking pool.backlogged first.
+  [[nodiscard]] bool pool_has_capacity(int pool) const {
+    return pool_headroom(pool) > 0;
+  }
+  // Instances other pools are owed before `pool` may use unreserved slots.
+  [[nodiscard]] int unmet_reservations_excluding(int pool) const;
+  // Start `pending` now; requires pool_has_capacity(pending.pool).
   void dispatch(Pending pending);
   void start_on_instance(int instance, Pending pending, bool cold);
+  // Dispatch backlogged requests, strictly FIFO within each pool; a pool
+  // without capacity never blocks another pool's entries.
+  void drain_backlog();
   int find_idle_warm_instance();
   int find_cooled_slot() const;
+  void maybe_arm_autoscaler();
+  void autoscale_tick();
+  [[nodiscard]] int autoscale_decision(const Pool& pool) const;
 
   sim::Simulator& sim_;
   PlatformConfig config_;
   InferenceLatencyModel latency_;
   common::Rng fault_rng_;
   std::vector<Instance> instances_;
+  std::vector<Pool> pools_;  // pools_[0] is the default pool
   std::deque<Pending> backlog_;
+  std::vector<char> drain_scratch_;  // per-pool blocked flags during drain
+  sim::EventHandle autoscale_timer_;
   int round_robin_ = 0;
+  int total_in_use_ = 0;
   std::uint64_t next_id_ = 0;
+  std::uint64_t cold_starts_ = 0;
   double total_cost_ = 0.0;
   double busy_seconds_ = 0.0;
   std::size_t stragglers_ = 0;
   std::size_t retries_ = 0;
   common::Sampler execution_latency_;
   common::Sampler queueing_delay_;
+  common::Sampler cold_start_setup_;
 };
 
 }  // namespace tangram::serverless

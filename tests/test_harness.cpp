@@ -191,6 +191,65 @@ TEST_F(HarnessTest, MultistreamRejectsEmptyCameraList) {
                std::invalid_argument);
 }
 
+TEST_F(HarnessTest, MultistreamExportsPoolAndColdStartTelemetry) {
+  MultiStreamConfig config;
+  config.slo_s = 1.5;
+  const auto result = run_multistream({trace_, trace_}, config);
+  ASSERT_GE(result.pools.size(), 1u);
+  EXPECT_EQ(result.pools[0].name,
+            serverless::FunctionPlatform::kDefaultPool);
+  EXPECT_GT(result.cold_starts, 0u);
+  EXPECT_EQ(result.cold_start_setup.count(), result.cold_starts);
+  EXPECT_GT(result.fleet_size, 0);
+  std::uint64_t dispatched = 0;
+  for (const auto& pool : result.pools) dispatched += pool.dispatched;
+  EXPECT_EQ(dispatched, result.invocations);
+}
+
+TEST_F(HarnessTest, MultistreamAutoscaleRecordsPerPoolSeries) {
+  MultiStreamConfig config;
+  config.slo_s = 1.5;
+  config.platform.autoscale =
+      serverless::AutoscalePolicy::queue_pressure(/*backlog_high=*/1,
+                                                  /*interval_s=*/0.25,
+                                                  /*initial_limit=*/1);
+  const auto result = run_multistream({trace_, trace_}, config);
+  EXPECT_EQ(result.patches_completed, 2 * total_patches());
+  ASSERT_GE(result.pools.size(), 1u);
+  EXPECT_FALSE(result.pools[0].series.empty());
+}
+
+TEST_F(HarnessTest, RunShardedAddsReservedLegWhenPoolsAreWired) {
+  MultiStreamConfig config;
+  config.platform.max_instances = 4;
+  config.per_stream_slo = {0.4, 2.0, 2.0, 2.0};
+  const std::vector<const SceneTrace*> cameras(4, trace_);
+
+  const auto plain = run_sharded(cameras, config);
+  EXPECT_FALSE(plain.has_reserved);
+
+  config.pool_for_shard = reserved_tight_pool_plan(
+      /*tight_slo_threshold=*/0.5, /*tight_reserved=*/2,
+      /*loose_burst_limit=*/2);
+  const auto reserved = run_sharded(cameras, config);
+  EXPECT_TRUE(reserved.has_reserved);
+  // The single/sharded legs stay pool-free (PR-2-comparable baselines);
+  // only the reserved leg carves tight/loose pools out of the fleet.
+  EXPECT_EQ(reserved.single.pools.size(), 1u);
+  EXPECT_EQ(reserved.sharded.pools.size(), 1u);
+  EXPECT_EQ(reserved.sharded_reserved.pools.size(), 3u);
+  // Identical workload, every leg completes it.
+  EXPECT_EQ(reserved.sharded_reserved.patches_completed,
+            reserved.single.patches_completed);
+  // The tight class's guaranteed concurrency may not cost it misses
+  // relative to the un-pooled sharded layout.
+  const auto sharded_tight = reserved.sharded.class_completions_misses(0.4);
+  const auto reserved_tight =
+      reserved.sharded_reserved.class_completions_misses(0.4);
+  EXPECT_EQ(reserved_tight.first, sharded_tight.first);
+  EXPECT_LE(reserved_tight.second, sharded_tight.second);
+}
+
 TEST(HarnessNames, StrategyNamesAreStable) {
   EXPECT_EQ(to_string(StrategyKind::kTangram), "Tangram");
   EXPECT_EQ(to_string(StrategyKind::kFullFrame), "FullFrame");

@@ -37,7 +37,7 @@ struct PoolFixture {
       : estimator(model, {1024, 1024}, quick_estimator_config()) {
     pool = std::make_unique<InvokerPool>(
         sim, StitchSolver(), estimator, InvokerConfig{}, std::move(policy),
-        [this](Batch&& b) { invoked.push_back(std::move(b)); });
+        [this](int, Batch&& b) { invoked.push_back(std::move(b)); });
   }
 
   Patch make_patch(std::uint64_t id, double generation, double slo,
@@ -101,10 +101,10 @@ TEST(InvokerPool, RejectsBadConstruction) {
                            ShardPolicy::single(), nullptr),
                std::invalid_argument);
   EXPECT_THROW(InvokerPool(sim, StitchSolver(), estimator, InvokerConfig{},
-                           ShardPolicy::hashed(0), [](Batch&&) {}),
+                           ShardPolicy::hashed(0), [](int, Batch&&) {}),
                std::invalid_argument);
   EXPECT_THROW(InvokerPool(sim, StitchSolver(), estimator, InvokerConfig{},
-                           ShardPolicy::custom(nullptr), [](Batch&&) {}),
+                           ShardPolicy::custom(nullptr), [](int, Batch&&) {}),
                std::invalid_argument);
 }
 
