@@ -24,8 +24,16 @@
 // AutoscalePolicy variants (static / target-utilization / queue-pressure),
 // reporting per-pool instance peaks, cold starts, and backlog-depth
 // quantiles — the provisioning axis of the BENCH_multistream artifact.
+//
+// Every sweep cell is an independent deterministic simulation, so the grid
+// runs on a ParallelSweepRunner worker pool (--jobs N; 0 = one worker per
+// hardware thread) with results bit-identical to --jobs 1.  Part 1 adds a
+// city-scale axis (256 -> 10000 streams, hashed shards, bounded telemetry
+// reservoirs); each point reports wall-clock ms and the process peak-RSS
+// high-water mark after the cell (VmHWM — monotone across cells, so within
+// one run it only identifies which cell first pushed the peak).
 
-#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -50,10 +58,13 @@ std::vector<double> stream_slos(std::size_t n) {
 // scheduler and event-engine throughput across PRs without re-parsing the
 // human tables.
 struct SweepPoint {
+  std::string layout;  // "single" | "hashed<K>" (the city axis)
   std::size_t streams = 0;
   std::size_t shards = 0;
   std::size_t patches = 0;
   double wall_ms = 0.0;
+  long peak_rss_kb = -1;  // VmHWM after the cell; -1 = probe unavailable
+  int jobs = 1;           // worker-pool size the grid ran on
   std::uint64_t events = 0;
   double events_per_sec = 0.0;
   double patches_per_wall_sec = 0.0;
@@ -95,8 +106,10 @@ void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
   out << "{\n  \"benchmark\": \"multistream_scale\",\n  \"sweep\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
-    out << "    {\"streams\": " << p.streams << ", \"shards\": " << p.shards
+    out << "    {\"layout\": \"" << p.layout
+        << "\", \"streams\": " << p.streams << ", \"shards\": " << p.shards
         << ", \"patches\": " << p.patches << ", \"wall_ms\": " << p.wall_ms
+        << ", \"peak_rss_kb\": " << p.peak_rss_kb << ", \"jobs\": " << p.jobs
         << ", \"events\": " << p.events
         << ", \"events_per_sec\": " << p.events_per_sec
         << ", \"patches_per_wall_sec\": " << p.patches_per_wall_sec
@@ -144,54 +157,88 @@ void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  int jobs = 0;                     // 0 = one worker per hardware thread
+  std::size_t max_streams = 4096;   // cap on the city axis (10000 is opt-in)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-streams") == 0 && i + 1 < argc) {
+      max_streams = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
-      std::cerr << "usage: bench_multistream_scale [--json <path>]\n";
+      std::cerr << "usage: bench_multistream_scale [--json <path>] "
+                   "[--jobs <n>] [--max-streams <n>]\n";
       return 2;
     }
   }
+  const int resolved_jobs = experiments::ParallelSweepRunner::resolve_jobs(jobs);
   // One trace, aliased per stream: every camera sees the same workload, so
   // the sweep isolates scheduler scaling from workload drift.
   experiments::TraceConfig trace_config;
   const auto trace =
       experiments::build_trace(video::panda4k_scene(5), trace_config);
 
-  std::cout << "=== Multi-stream scale-out: 1 -> 64 streams, one shared "
-               "TangramSystem ===\n";
-  common::Table table({"Streams", "Shards", "Patches", "Patches/s (wall)",
+  std::cout << "=== Multi-stream scale-out: 1 -> " << max_streams
+            << " streams, one shared TangramSystem per cell, --jobs "
+            << resolved_jobs << " ===\n";
+  common::Table table({"Streams", "Layout", "Shards", "Patches",
+                       "Wall (ms)", "Peak RSS (MB)", "Patches/s (wall)",
                        "q2i p50 (s)", "q2i p99 (s)", "SLO miss (%)",
-                       "Worst stream (%)", "Batches", "Canv/batch",
-                       "Cost ($)"});
+                       "Batches", "Cost ($)"});
 
-  experiments::MultiStreamResult last_result;
+  // The sweep grid: the comparable 1..64 single-shard series first, then the
+  // city axis on hashed shards with bounded (512-sample) telemetry
+  // reservoirs so per-sim memory stays fixed as streams grow.
+  struct SweepSpec {
+    std::size_t streams;
+    const char* layout;
+  };
+  std::vector<SweepSpec> specs;
+  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u})
+    specs.push_back({n, "single"});
+  constexpr int kCityShards = 8;
+  constexpr std::size_t kCityReservoir = 512;
+  for (const std::size_t n : {256u, 1024u, 4096u, 10000u})
+    if (n <= max_streams) specs.push_back({n, "hashed8"});
+
+  // All cells share one platform/canvas/slack/seed config, so the offline
+  // profiling campaign runs once for the whole grid (bit-identical to
+  // per-cell profiling; see TangramSystem::Config::profiled_estimator).
+  std::vector<experiments::MultiStreamCell> cells;
+  for (const SweepSpec& spec : specs) {
+    experiments::MultiStreamCell cell;
+    cell.cameras.assign(spec.streams, &trace);
+    cell.config.per_stream_slo = stream_slos(spec.streams);
+    if (std::strcmp(spec.layout, "single") == 0) {
+      // Single shared shard: keeps this scaling series comparable with the
+      // pre-pool runs; the sharding study is Part 2 below.
+      cell.config.sharding = core::ShardPolicy::single();
+    } else {
+      cell.config.sharding = core::ShardPolicy::hashed(kCityShards);
+      cell.config.telemetry_reservoir = kCityReservoir;
+    }
+    cells.push_back(std::move(cell));
+  }
+  const auto shared_profile =
+      experiments::profile_estimator(cells.front().config);
+  for (auto& cell : cells) cell.config.profiled_estimator = shared_profile;
+  const auto outcomes = experiments::run_multistream_cells(cells, jobs);
+
   std::vector<SweepPoint> sweep;
-  for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    std::vector<const experiments::SceneTrace*> cameras(n, &trace);
-    experiments::MultiStreamConfig config;
-    config.per_stream_slo = stream_slos(n);
-    // Single shared shard: keeps this scaling series comparable with the
-    // pre-pool runs; the sharding study is Part 2 below.
-    config.sharding = core::ShardPolicy::single();
-
-    const auto wall_start = std::chrono::steady_clock::now();
-    auto result = experiments::run_multistream(cameras, config);
-    const double wall_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
-
-    double worst = 0.0;
-    for (const auto& stream : result.streams)
-      worst = std::max(worst, stream.violation_rate());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const experiments::MultiStreamResult& result = outcomes[i].result;
+    const double wall_s = outcomes[i].timing.wall_ms / 1000.0;
     const auto q2i = result.pooled_queue_to_invoke();
 
     SweepPoint point;
-    point.streams = n;
+    point.layout = specs[i].layout;
+    point.streams = specs[i].streams;
     point.shards = result.shards;
     point.patches = result.patches_completed;
-    point.wall_ms = wall_s * 1000.0;
+    point.wall_ms = outcomes[i].timing.wall_ms;
+    point.peak_rss_kb = outcomes[i].timing.peak_rss_kb;
+    point.jobs = resolved_jobs;
     point.events = result.events_executed;
     point.events_per_sec =
         static_cast<double>(result.events_executed) / wall_s;
@@ -208,21 +255,27 @@ int main(int argc, char** argv) {
     sweep.push_back(point);
 
     table.add_row(
-        {std::to_string(n), std::to_string(result.shards),
+        {std::to_string(point.streams), point.layout,
+         std::to_string(result.shards),
          std::to_string(result.patches_completed),
+         common::Table::num(point.wall_ms, 1),
+         point.peak_rss_kb >= 0
+             ? common::Table::num(static_cast<double>(point.peak_rss_kb) /
+                                      1024.0,
+                                  1)
+             : "n/a",
          common::Table::num(static_cast<double>(result.patches_completed) /
                                 wall_s,
                             0),
          common::Table::num(q2i.quantile(0.50), 4),
          common::Table::num(q2i.quantile(0.99), 4),
          common::Table::num(100.0 * result.violation_rate(), 2),
-         common::Table::num(100.0 * worst, 2),
          std::to_string(result.batches),
-         common::Table::num(result.batch_canvases.mean(), 2),
          common::Table::num(result.total_cost, 4)});
-    if (n == 64u) last_result = std::move(result);
   }
   table.print();
+  // Index of the 64-stream single-shard point (last of the first series).
+  const experiments::MultiStreamResult& last_result = outcomes[6].result;
 
   // Per-stream SLO-miss telemetry at the 64-stream point, by SLO class.
   std::cout << "\n=== Per-stream telemetry at 64 streams (by SLO class) ===\n";
@@ -270,6 +323,12 @@ int main(int argc, char** argv) {
   fleet_config.pool_for_shard = experiments::reserved_tight_pool_plan(
       /*tight_slo_threshold=*/0.5, kTightReserved,
       /*loose_burst_limit=*/kFleetInstances - kTightReserved);
+  // The campaign depends on the latency model / canvas / slack / seed, none
+  // of which the fleet changes (max_instances doesn't enter profiling), so
+  // the sweep's estimator serves the three run_sharded legs and the Part 3
+  // policy grid too.
+  fleet_config.profiled_estimator = shared_profile;
+  fleet_config.jobs = jobs;
   const auto comparison = experiments::run_sharded(fleet, fleet_config);
 
   std::vector<FleetPoint> fleet_points;
@@ -380,13 +439,23 @@ int main(int argc, char** argv) {
       {"queue-pressure",
        serverless::AutoscalePolicy::queue_pressure(2, 0.5, 1)},
   };
+  // The two moving policies are independent cells; run them on the worker
+  // pool like the Part 1 grid.
+  std::vector<experiments::MultiStreamCell> policy_cells;
   for (const auto& entry : policies) {
-    experiments::MultiStreamConfig scaled_config = fleet_config;
-    scaled_config.sharding = core::ShardPolicy::per_slo_class();
-    scaled_config.platform.autoscale = entry.policy;
-    const auto result = experiments::run_multistream(fleet, scaled_config);
-    record_fleet("sharded+reserved", entry.name, result);
-    add_policy_row(entry.name, result);
+    experiments::MultiStreamCell cell;
+    cell.cameras = fleet;
+    cell.config = fleet_config;
+    cell.config.sharding = core::ShardPolicy::per_slo_class();
+    cell.config.platform.autoscale = entry.policy;
+    policy_cells.push_back(std::move(cell));
+  }
+  const auto policy_outcomes =
+      experiments::run_multistream_cells(policy_cells, jobs);
+  for (std::size_t i = 0; i < policy_outcomes.size(); ++i) {
+    record_fleet("sharded+reserved", policies[i].name,
+                 policy_outcomes[i].result);
+    add_policy_row(policies[i].name, policy_outcomes[i].result);
   }
   auto_table.print();
 

@@ -2,8 +2,16 @@
 //
 // RunningStats implements Welford's online algorithm, which every latency /
 // cost / efficiency aggregate in the benchmarks uses.  Sampler keeps the raw
-// values so percentile and CDF queries are exact (sample counts here are
-// thousands, not billions, so the memory is irrelevant).
+// values so percentile and CDF queries are exact — by default unbounded
+// (sample counts in the paper-replication benches are thousands, so the
+// memory is irrelevant).  For city-scale sweeps (10k streams x dozens of
+// telemetry series per sim) a Sampler can instead be constructed with a
+// fixed reservoir capacity: mean/stddev/min/max/count stay exact over every
+// sample seen, while quantile/CDF queries answer from a uniform reservoir
+// (Vitter's Algorithm R) whose memory never exceeds the capacity.  The
+// reservoir's RNG is embedded and fixed-seeded, so a bounded Sampler is a
+// pure function of its add() sequence — bit-reproducible across runs and
+// across concurrently running simulations.
 
 #pragma once
 
@@ -12,6 +20,8 @@
 #include <cstddef>
 #include <stdexcept>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace tangram::common {
 
@@ -66,20 +76,44 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Retains raw samples for exact quantile / CDF queries.
+// Retains raw samples for exact quantile / CDF queries; with a capacity it
+// degrades gracefully into a fixed-size uniform reservoir (see file header).
 class Sampler {
  public:
+  Sampler() = default;
+  // capacity == 0: retain every sample (exact quantiles, unbounded memory).
+  // capacity  > 0: retain a uniform reservoir of at most `capacity` samples.
+  explicit Sampler(std::size_t capacity) : capacity_(capacity) {}
+
   void add(double x) {
-    values_.push_back(x);
-    sorted_ = false;
     stats_.add(x);
+    if (capacity_ == 0 || values_.size() < capacity_) {
+      values_.push_back(x);
+      sorted_ = false;
+      return;
+    }
+    // Algorithm R: the i-th sample (1-based) replaces a random reservoir
+    // slot with probability capacity / i, keeping the retained set a
+    // uniform sample of everything seen.  Modulo bias is ~capacity/2^64 —
+    // irrelevant statistically, and the draw itself is deterministic.
+    const auto slot =
+        static_cast<std::size_t>(reservoir_rng_.next_u64() % stats_.count());
+    if (slot < capacity_) {
+      values_[slot] = x;
+      sorted_ = false;
+    }
   }
 
-  [[nodiscard]] std::size_t count() const { return values_.size(); }
-  [[nodiscard]] bool empty() const { return values_.empty(); }
+  // Total samples observed (NOT the retained-reservoir size; for that, use
+  // values().size()).  Identical to values().size() when unbounded.
+  [[nodiscard]] std::size_t count() const { return stats_.count(); }
+  [[nodiscard]] bool empty() const { return stats_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] const RunningStats& stats() const { return stats_; }
   [[nodiscard]] double mean() const { return stats_.mean(); }
   [[nodiscard]] double stddev() const { return stats_.stddev(); }
+  // Retained samples: everything seen when unbounded, the reservoir when
+  // capacity-bounded.
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
   // Quantile q in [0,1] with linear interpolation between order statistics.
@@ -133,6 +167,11 @@ class Sampler {
     }
   }
 
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  // Fixed seed: reservoir contents depend only on the add() sequence, never
+  // on global state — required for the parallel sweep runner's bit-identical
+  // serial/parallel guarantee.
+  Rng reservoir_rng_{0x5eedc0ffee1234abULL, 0x51};
   std::vector<double> values_;
   mutable std::vector<double> sorted_values_;
   mutable bool sorted_ = false;

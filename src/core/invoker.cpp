@@ -33,6 +33,9 @@ SloAwareInvoker::SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
     throw std::invalid_argument("SloAwareInvoker: invoke callback required");
   if (config_.max_canvases < 1)
     throw std::invalid_argument("SloAwareInvoker: max_canvases must be >= 1");
+  stats_.canvas_efficiency = common::Sampler(config_.telemetry_reservoir);
+  stats_.batch_canvas_count = common::Sampler(config_.telemetry_reservoir);
+  stats_.batch_patch_count = common::Sampler(config_.telemetry_reservoir);
 }
 
 void SloAwareInvoker::refresh_deadline_and_slack() {

@@ -55,6 +55,10 @@ struct InvokerConfig {
   // (InvokerStats::saturated_dispatches) — a direct signal that the pool's
   // limits, not the packing policy, are the shard's SLO bottleneck.
   std::function<int()> pool_headroom;
+  // Reservoir capacity for the shard's telemetry Samplers (canvas
+  // efficiency, batch sizes); 0 = retain every sample.  Bounded mode keeps
+  // per-shard telemetry O(1) in batch count for city-scale sweeps.
+  std::size_t telemetry_reservoir = 0;
 };
 
 // One packed canvas inside a dispatched batch.

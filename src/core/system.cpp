@@ -6,6 +6,42 @@
 
 namespace tangram::core {
 
+namespace {
+
+// The offline profiling campaign (estimator construction) exactly as the
+// system ctor has always run it; extracted so profile_estimator() can run it
+// against a throwaway platform and share the result across systems.
+std::shared_ptr<const LatencyEstimator> run_profiling_campaign(
+    serverless::FunctionPlatform& platform,
+    const TangramSystem::Config& config, int max_batch) {
+  LatencyEstimator::Config est = config.estimator;
+  est.sigma_multiplier = config.slack_sigma;
+  est.max_profiled_batch =
+      max_batch == std::numeric_limits<int>::max()
+          ? std::max(config.estimator.max_profiled_batch, 1)
+          : max_batch;
+  return std::make_shared<const LatencyEstimator>(platform.latency_model(),
+                                                  config.canvas, est);
+}
+
+}  // namespace
+
+std::shared_ptr<const LatencyEstimator> TangramSystem::profile_estimator(
+    const Config& config) {
+  // Profiling draws from a copy of the latency model seeded exactly as a
+  // real platform would be, so the result is byte-identical to the
+  // estimator a TangramSystem(config) would build for itself.
+  sim::Simulator sim;
+  serverless::FunctionPlatform platform(sim, config.platform,
+                                        config.function_latency, config.seed);
+  const int max_batch = platform.max_canvases_per_batch(config.canvas);
+  if (max_batch < 1)
+    throw std::invalid_argument(
+        "TangramSystem::profile_estimator: model plus one canvas exceeds "
+        "the function's GPU memory");
+  return run_profiling_campaign(platform, config, max_batch);
+}
+
 TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
                              ResultFn on_result)
     : config_(std::move(config)), on_result_(std::move(on_result)) {
@@ -31,19 +67,26 @@ TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
   // against (a copy of) the deployed function's latency distribution, one
   // size per admissible batch.  An unconstrained GPU (canvas_gpu_gb == 0
   // reports INT_MAX) falls back to the estimator config's range instead of
-  // an endless campaign; slack() extrapolates linearly past it.
-  LatencyEstimator::Config est = config_.estimator;
-  est.sigma_multiplier = config_.slack_sigma;
-  est.max_profiled_batch =
-      max_batch == std::numeric_limits<int>::max()
-          ? std::max(config_.estimator.max_profiled_batch, 1)
-          : max_batch;
-  estimator_ = std::make_unique<LatencyEstimator>(platform_->latency_model(),
-                                                  config_.canvas, est);
+  // an endless campaign; slack() extrapolates linearly past it.  A prebuilt
+  // estimator (Config::profiled_estimator) skips the campaign: profiling
+  // never perturbs the platform's RNG stream, so reuse is byte-identical.
+  if (config_.profiled_estimator) {
+    const LatencyEstimator& shared = *config_.profiled_estimator;
+    if (shared.canvas().width != config_.canvas.width ||
+        shared.canvas().height != config_.canvas.height ||
+        shared.config().sigma_multiplier != config_.slack_sigma)
+      throw std::invalid_argument(
+          "TangramSystem: profiled_estimator was built for a different "
+          "canvas or slack_sigma than this config");
+    estimator_ = config_.profiled_estimator;
+  } else {
+    estimator_ = run_profiling_campaign(*platform_, config_, max_batch);
+  }
 
   InvokerConfig inv;
   inv.canvas = config_.canvas;
   inv.max_canvases = max_batch;
+  inv.telemetry_reservoir = config_.telemetry_reservoir;
   pool_ = std::make_unique<InvokerPool>(
       simulator, StitchSolver(config_.heuristic), *estimator_, inv,
       config_.sharding,
@@ -71,6 +114,10 @@ TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
 StreamId TangramSystem::register_stream(StreamConfig config) {
   const auto id = static_cast<StreamId>(streams_.size());
   StreamStats stats;
+  // Per-stream telemetry honours the configured reservoir bound (0 keeps
+  // the legacy retain-everything samplers).
+  stats.e2e_latency = common::Sampler(config_.telemetry_reservoir);
+  stats.queue_to_invoke = common::Sampler(config_.telemetry_reservoir);
   // Admission routing happens here, once per stream: every patch the stream
   // ever submits lands on this shard.
   stats.shard = pool_->route(id, config);

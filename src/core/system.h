@@ -89,8 +89,28 @@ class TangramSystem {
     ShardPolicy sharding;
     // Null = every shard invokes through the platform's default pool.
     PoolAssignFn pool_for_shard;
+    // Reservoir capacity for per-stream and per-shard telemetry Samplers
+    // (e2e latency, queue-to-invoke, canvas efficiency, batch sizes) and —
+    // via platform.telemetry_reservoir — the platform's.  0 = retain every
+    // sample (legacy, exact quantiles); > 0 bounds per-sim telemetry memory
+    // so 10k-stream cells fit (see common/stats.h).
+    std::size_t telemetry_reservoir = 0;
+    // Prebuilt offline-profiling result to share across systems: when set
+    // (and built for an identical canvas / slack / platform / seed config,
+    // e.g. via profile_estimator()), construction reuses it instead of
+    // re-running the 1000-iteration campaign.  Profiling draws from a
+    // private copy of the latency model, so sharing is byte-identical to
+    // per-system profiling — run_sharded()'s three legs profile once.
+    std::shared_ptr<const LatencyEstimator> profiled_estimator;
     std::uint64_t seed = 2024;
   };
+
+  // Run the offline profiling campaign for `config` exactly as construction
+  // would, returning an estimator shareable across every system built from
+  // an equivalent config (same canvas, slack_sigma, estimator config,
+  // platform resources/latency params, and seed).
+  [[nodiscard]] static std::shared_ptr<const LatencyEstimator>
+  profile_estimator(const Config& config);
 
   // Called once per patch when its batch's function invocation completes.
   using ResultFn = std::function<void(const Patch&,
@@ -151,7 +171,9 @@ class TangramSystem {
   Config config_;
   ResultFn on_result_;
   std::unique_ptr<serverless::FunctionPlatform> platform_;
-  std::unique_ptr<LatencyEstimator> estimator_;  // shared by every shard
+  // Shared by every shard; const + shareable across systems (see
+  // Config::profiled_estimator).
+  std::shared_ptr<const LatencyEstimator> estimator_;
   std::unique_ptr<InvokerPool> pool_;
   // Capacity-pool index per invoker shard (0 = the platform default pool),
   // filled by the shard-setup hook so dispatch skips the name lookup.

@@ -1,5 +1,6 @@
 #include "experiments/harness.h"
 
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 
@@ -25,6 +26,27 @@ namespace {
 bool is_frame_level(StrategyKind kind) {
   return kind == StrategyKind::kFullFrame ||
          kind == StrategyKind::kMaskedFrame;
+}
+
+// The one place a MultiStreamConfig maps onto a TangramSystem config, so
+// run_multistream and the shared-profiling path (run_sharded, grids) can
+// never drift apart.
+core::TangramSystem::Config system_config_of(const MultiStreamConfig& config) {
+  core::TangramSystem::Config system_config;
+  system_config.canvas = config.canvas;
+  system_config.slack_sigma = config.slack_sigma;
+  system_config.heuristic = config.heuristic;
+  system_config.platform = config.platform;
+  system_config.function_latency = config.latency;
+  system_config.sharding = config.sharding;
+  system_config.pool_for_shard = config.pool_for_shard;
+  system_config.telemetry_reservoir = config.telemetry_reservoir;
+  if (config.telemetry_reservoir > 0 &&
+      system_config.platform.telemetry_reservoir == 0)
+    system_config.platform.telemetry_reservoir = config.telemetry_reservoir;
+  system_config.profiled_estimator = config.profiled_estimator;
+  system_config.seed = config.seed;
+  return system_config;
 }
 
 }  // namespace
@@ -218,16 +240,7 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   for (std::size_t i = 0; i < cameras.size(); ++i)
     links.push_back(std::make_unique<net::Link>(sim, config.bandwidth_mbps));
 
-  core::TangramSystem::Config system_config;
-  system_config.canvas = config.canvas;
-  system_config.slack_sigma = config.slack_sigma;
-  system_config.heuristic = config.heuristic;
-  system_config.platform = config.platform;
-  system_config.function_latency = config.latency;
-  system_config.sharding = config.sharding;
-  system_config.pool_for_shard = config.pool_for_shard;
-  system_config.seed = config.seed;
-  core::TangramSystem system(sim, system_config, nullptr);
+  core::TangramSystem system(sim, system_config_of(config), nullptr);
 
   std::vector<core::StreamId> streams;
   streams.reserve(cameras.size());
@@ -242,36 +255,59 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
 
   MultiStreamResult result;
   std::uint64_t next_patch_id = 1;
+
+  // Chained per-camera frame scheduling: each camera keeps exactly ONE
+  // pending capture event — emitting frame i schedules frame i+1 — instead
+  // of seeding streams x frames events up front, so the event queue (and the
+  // slot pool backing it) stays O(streams) at city scale.  The capture-time
+  // arithmetic is the legacy upfront loop's, term for term
+  // (phase + i * interval), and the chain preserves the upfront loop's
+  // same-timestamp ordering (cameras seed frame 0 in camera order; frame-i
+  // events execute in that order and schedule frame i+1 in the same order),
+  // so the simulation is byte-identical — regression-tested against the
+  // upfront baselines in tests/test_parallel_runner.cpp.
+  std::function<void(std::size_t, std::size_t)> emit_frame =
+      [&](std::size_t cam, std::size_t i) {
+        const SceneTrace& trace = *cameras[cam];
+        const double frame_interval = 1.0 / trace.spec.fps;
+        const double phase =
+            config.stagger_cameras
+                ? frame_interval * static_cast<double>(cam) /
+                      static_cast<double>(cameras.size())
+                : 0.0;
+        const double capture = phase + static_cast<double>(i) * frame_interval;
+        const FrameRecord& frame = trace.eval_frame(i);
+        for (std::size_t p = 0; p < frame.patches.size(); ++p) {
+          core::Patch patch;
+          patch.id = next_patch_id++;
+          patch.camera_id = static_cast<int>(cam);
+          patch.frame_index = frame.frame_index;
+          patch.region = frame.patches[p];
+          patch.generation_time = capture;
+          patch.bytes = frame.patch_bytes[p];
+          ++result.patches_sent;
+          links[cam]->send(patch.bytes, [&, cam, patch] {
+            system.receive_patch(streams[cam], patch);
+          });
+        }
+        if (i + 1 < trace.eval_frame_count()) {
+          const double next_capture =
+              phase + static_cast<double>(i + 1) * frame_interval;
+          sim.schedule_at(next_capture + config.edge_latency_s,
+                          [&emit_frame, cam, i] { emit_frame(cam, i + 1); });
+        }
+      };
   for (std::size_t cam = 0; cam < cameras.size(); ++cam) {
     const SceneTrace& trace = *cameras[cam];
+    if (trace.eval_frame_count() == 0) continue;
     const double frame_interval = 1.0 / trace.spec.fps;
     const double phase =
         config.stagger_cameras
             ? frame_interval * static_cast<double>(cam) /
                   static_cast<double>(cameras.size())
             : 0.0;
-
-    for (std::size_t i = 0; i < trace.eval_frame_count(); ++i) {
-      const FrameRecord& frame = trace.eval_frame(i);
-      const double capture = phase + static_cast<double>(i) * frame_interval;
-      sim.schedule_at(
-          capture + config.edge_latency_s,
-          [&, cam, capture, &frame = frame]() {
-            for (std::size_t p = 0; p < frame.patches.size(); ++p) {
-              core::Patch patch;
-              patch.id = next_patch_id++;
-              patch.camera_id = static_cast<int>(cam);
-              patch.frame_index = frame.frame_index;
-              patch.region = frame.patches[p];
-              patch.generation_time = capture;
-              patch.bytes = frame.patch_bytes[p];
-              ++result.patches_sent;
-              links[cam]->send(patch.bytes, [&, cam, patch] {
-                system.receive_patch(streams[cam], patch);
-              });
-            }
-          });
-    }
+    sim.schedule_at(phase + config.edge_latency_s,
+                    [&emit_frame, cam] { emit_frame(cam, 0); });
   }
 
   sim.run();
@@ -315,6 +351,11 @@ core::TangramSystem::PoolAssignFn reserved_tight_pool_plan(
   };
 }
 
+std::shared_ptr<const core::LatencyEstimator> profile_estimator(
+    const MultiStreamConfig& config) {
+  return core::TangramSystem::profile_estimator(system_config_of(config));
+}
+
 ShardedRunResult run_sharded(const std::vector<const SceneTrace*>& cameras,
                              const MultiStreamConfig& config) {
   // The single/sharded legs measure the invoker layout alone: strip the
@@ -330,16 +371,121 @@ ShardedRunResult run_sharded(const std::vector<const SceneTrace*>& cameras,
   sharded_config.pool_for_shard = nullptr;
   sharded_config.platform.autoscale = serverless::AutoscalePolicy{};
 
-  ShardedRunResult result;
-  result.single = run_multistream(cameras, single_config);
-  result.sharded = run_multistream(cameras, sharded_config);
+  // The legs differ only in layout/provisioning, never in the platform
+  // resources, canvas, slack, or seed the offline profiling campaign
+  // depends on — so profile once and share the estimator by const& instead
+  // of rebuilding the identical campaign per leg.
+  std::vector<MultiStreamCell> cells;
+  cells.push_back({cameras, std::move(single_config)});
+  cells.push_back({cameras, std::move(sharded_config)});
   if (config.pool_for_shard) {
     MultiStreamConfig reserved_config = config;
     reserved_config.sharding = core::ShardPolicy::per_slo_class();
-    result.sharded_reserved = run_multistream(cameras, reserved_config);
+    cells.push_back({cameras, std::move(reserved_config)});
+  }
+  if (!config.profiled_estimator) {
+    const auto profile = core::TangramSystem::profile_estimator(
+        system_config_of(cells.front().config));
+    for (MultiStreamCell& cell : cells) cell.config.profiled_estimator = profile;
+  }
+
+  auto outcomes = run_multistream_cells(cells, config.jobs);
+  ShardedRunResult result;
+  result.single = std::move(outcomes[0].result);
+  result.sharded = std::move(outcomes[1].result);
+  if (outcomes.size() > 2) {
+    result.sharded_reserved = std::move(outcomes[2].result);
     result.has_reserved = true;
   }
   return result;
+}
+
+std::vector<SweepCellOutcome<MultiStreamResult>> run_multistream_cells(
+    const std::vector<MultiStreamCell>& cells, int jobs) {
+  const ParallelSweepRunner runner(jobs);
+  return runner.map(cells.size(), [&](std::size_t i) {
+    return run_multistream(cells[i].cameras, cells[i].config);
+  });
+}
+
+namespace {
+
+// Full-precision double formatting: 17 significant digits round-trip every
+// IEEE-754 double, so any behavioural drift shows up as a byte difference.
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_sampler(std::string& out, const char* key,
+                    const common::Sampler& s) {
+  out += '"';
+  out += key;
+  out += "\":{\"count\":" + std::to_string(s.count());
+  out += ",\"mean\":" + fmt(s.mean());
+  out += ",\"stddev\":" + fmt(s.stddev());
+  out += ",\"min\":" + fmt(s.stats().min());
+  out += ",\"max\":" + fmt(s.stats().max());
+  out += ",\"p50\":" + fmt(s.empty() ? 0.0 : s.quantile(0.5));
+  out += ",\"p99\":" + fmt(s.empty() ? 0.0 : s.quantile(0.99));
+  out += '}';
+}
+
+}  // namespace
+
+std::string deterministic_json(const MultiStreamResult& result) {
+  std::string out = "{\"shards\":" + std::to_string(result.shards);
+  out += ",\"patches_sent\":" + std::to_string(result.patches_sent);
+  out += ",\"patches_completed\":" + std::to_string(result.patches_completed);
+  out += ",\"slo_violations\":" + std::to_string(result.slo_violations);
+  out += ",\"total_cost\":" + fmt(result.total_cost);
+  out += ",\"invocations\":" + std::to_string(result.invocations);
+  out += ",\"batches\":" + std::to_string(result.batches);
+  out += ",\"makespan_s\":" + fmt(result.makespan_s);
+  out += ",\"events_executed\":" + std::to_string(result.events_executed);
+  out += ",\"cold_starts\":" + std::to_string(result.cold_starts);
+  out += ",\"fleet_size\":" + std::to_string(result.fleet_size);
+  out += ',';
+  append_sampler(out, "batch_canvases", result.batch_canvases);
+  out += ',';
+  append_sampler(out, "canvas_efficiency", result.canvas_efficiency);
+  out += ',';
+  append_sampler(out, "cold_start_setup", result.cold_start_setup);
+  out += ",\"streams\":[";
+  for (std::size_t i = 0; i < result.streams.size(); ++i) {
+    const core::StreamStats& s = result.streams[i];
+    if (i) out += ',';
+    out += "{\"name\":\"" + s.name + "\"";
+    out += ",\"slo_s\":" + fmt(s.slo_s);
+    out += ",\"shard\":" + std::to_string(s.shard);
+    out += ",\"received\":" + std::to_string(s.patches_received);
+    out += ",\"completed\":" + std::to_string(s.patches_completed);
+    out += ",\"violations\":" + std::to_string(s.slo_violations);
+    out += ',';
+    append_sampler(out, "e2e", s.e2e_latency);
+    out += ',';
+    append_sampler(out, "q2i", s.queue_to_invoke);
+    out += '}';
+  }
+  out += "],\"pools\":[";
+  for (std::size_t i = 0; i < result.pools.size(); ++i) {
+    const serverless::PoolTelemetry& p = result.pools[i];
+    if (i) out += ',';
+    out += "{\"name\":\"" + p.name + "\"";
+    out += ",\"reserved\":" + std::to_string(p.reserved);
+    out += ",\"burst_limit\":" + std::to_string(p.burst_limit);
+    out += ",\"limit\":" + std::to_string(p.limit);
+    out += ",\"peak_in_use\":" + std::to_string(p.peak_in_use);
+    out += ",\"dispatched\":" + std::to_string(p.dispatched);
+    out += ",\"cold_starts\":" + std::to_string(p.cold_starts);
+    out += ",\"autoscale_ticks\":" + std::to_string(p.series.size());
+    out += ',';
+    append_sampler(out, "backlog_depth", p.backlog_depth);
+    out += '}';
+  }
+  out += "]}";
+  return out;
 }
 
 PerFrameCostResult per_frame_cost(const SceneTrace& trace, StrategyKind kind,

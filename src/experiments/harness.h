@@ -13,11 +13,17 @@
 //    registered as first-class streams on ONE TangramSystem facade (shared
 //    invoker + platform, cross-stream canvas stitching), with per-stream
 //    SLO classes and per-stream telemetry.  This is what
-//    bench_multistream_scale sweeps from 1 to 64 streams.
+//    bench_multistream_scale sweeps from 1 stream to city scale (10k).
+//
+// Every runner is an independent deterministic simulation over shared
+// immutable traces, so grids of them parallelize across threads via
+// ParallelSweepRunner (run_multistream_cells, run_sharded with jobs > 1)
+// with bit-identical results to serial execution.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +31,7 @@
 #include "baselines/strategies.h"
 #include "common/stats.h"
 #include "core/system.h"
+#include "experiments/parallel_runner.h"
 #include "experiments/trace.h"
 #include "serverless/platform.h"
 
@@ -124,6 +131,18 @@ struct MultiStreamConfig {
   // Null = every shard on the platform's default pool (legacy behaviour).
   // Autoscaling is configured through platform.autoscale.
   core::TangramSystem::PoolAssignFn pool_for_shard;
+  // Reservoir capacity for every telemetry Sampler in the run (per-stream,
+  // per-shard, and platform); 0 = retain all samples.  Set for city-scale
+  // cells so per-sim telemetry memory stays fixed (see common/stats.h).
+  std::size_t telemetry_reservoir = 0;
+  // Prebuilt profiling campaign shared across runs with equivalent platform
+  // / canvas / slack / seed configs (see TangramSystem::Config); null =
+  // profile during construction.
+  std::shared_ptr<const core::LatencyEstimator> profiled_estimator;
+  // Worker threads for multi-leg runners (run_sharded): each leg is an
+  // independent sim, so legs run concurrently with bit-identical results.
+  // 1 = serial (default); 0 = hardware_concurrency.
+  int jobs = 1;
   std::uint64_t seed = 7;
 };
 
@@ -176,6 +195,39 @@ struct MultiStreamResult {
     const std::vector<const SceneTrace*>& cameras,
     const MultiStreamConfig& config);
 
+// --- parallel sweep grids ---------------------------------------------------
+
+// One cell of a sweep grid: a camera fleet (entries alias traces owned by
+// the caller, which must outlive the run) plus its runner config.
+struct MultiStreamCell {
+  std::vector<const SceneTrace*> cameras;
+  MultiStreamConfig config;
+};
+
+// Run the offline profiling campaign for `config` once, for sharing across
+// every cell whose platform / canvas / slack / seed config is equivalent
+// (stream counts, SLO classes, sharding, and pool plans may differ) — see
+// TangramSystem::Config::profiled_estimator.  Byte-identical to per-cell
+// profiling.
+[[nodiscard]] std::shared_ptr<const core::LatencyEstimator> profile_estimator(
+    const MultiStreamConfig& config);
+
+// Run every cell through run_multistream() on a ParallelSweepRunner worker
+// pool (jobs <= 0: hardware_concurrency).  Cells are independent sims over
+// shared immutable traces, so the returned results — ordered by cell index —
+// are bit-identical for every job count; only the CellTiming (wall ms, peak
+// RSS) varies.  Regression-tested in tests/test_parallel_runner.cpp.
+[[nodiscard]] std::vector<SweepCellOutcome<MultiStreamResult>>
+run_multistream_cells(const std::vector<MultiStreamCell>& cells, int jobs);
+
+// Serialize every simulation-deterministic field of a result (counters,
+// cost, makespan, sampler statistics and quantiles, per-stream and per-pool
+// telemetry) to a canonical JSON string with full double precision.  Two
+// runs are byte-equal here iff the simulations behaved identically — the
+// comparison key for the serial-vs-parallel determinism guarantee.  Wall
+// time and RSS are deliberately excluded.
+[[nodiscard]] std::string deterministic_json(const MultiStreamResult& result);
+
 // The 1-vs-K-shards comparison: the same cameras and mixed SLO classes run
 // on identical arrival schedules — once on a single shared invoker shard
 // (the paper's layout, head-of-line blocking included), once with one shard
@@ -191,6 +243,10 @@ struct ShardedRunResult {
   bool has_reserved = false;
 };
 
+// The legs share one offline profiling campaign (built once, shared by
+// const& — profiling draws from a private model copy, so this is
+// byte-identical to per-leg profiling) and run as independent sims on
+// config.jobs workers (1 = serial; the results never depend on jobs).
 [[nodiscard]] ShardedRunResult run_sharded(
     const std::vector<const SceneTrace*>& cameras,
     const MultiStreamConfig& config);

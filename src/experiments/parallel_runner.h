@@ -1,0 +1,93 @@
+// Thread-parallel sweep runner for city-scale experiment grids.
+//
+// Every sweep cell (stream count x shard layout x autoscale policy) is an
+// independent deterministic simulation: it owns its Simulator, TangramSystem,
+// platform, and every Rng it draws from, and reads only immutable shared
+// inputs (`const SceneTrace&`s built once per sweep point).  That makes the
+// grid embarrassingly parallel WITHOUT giving up reproducibility — a fixed
+// worker pool runs cells concurrently and the per-cell results are collected
+// into a vector indexed by cell id, so the output is bit-identical to running
+// the same cells serially, regardless of the job count or which worker
+// happened to pick up which cell (regression-tested in
+// tests/test_parallel_runner.cpp, and the CI ThreadSanitizer job runs the
+// same grid under -fsanitize=thread).
+//
+// What is deliberately NOT deterministic: wall-clock and peak-RSS numbers.
+// Each cell's CellTiming carries its wall time and a /proc/self/status VmHWM
+// probe sampled when the cell finishes — the scaling-trajectory axes of
+// bench_multistream_scale --json — and those vary run to run.  Consumers
+// that need byte-stable output (tests, artifact diffs) must serialize only
+// the simulation results; see experiments::deterministic_json().
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tangram::experiments {
+
+// Peak resident-set high-water mark of this process in kB (VmHWM from
+// /proc/self/status); -1 when the probe is unavailable (non-Linux).
+// Monotone over the process lifetime, so sampling it after a cell finishes
+// bounds the footprint of everything run so far.
+[[nodiscard]] long peak_rss_kb();
+
+// Per-cell wall-clock measurement; see the header comment on determinism.
+struct CellTiming {
+  double wall_ms = 0.0;
+  long peak_rss_kb = -1;
+};
+
+template <typename Result>
+struct SweepCellOutcome {
+  Result result{};
+  CellTiming timing;
+};
+
+class ParallelSweepRunner {
+ public:
+  // jobs <= 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ParallelSweepRunner(int jobs = 0) : jobs_(resolve_jobs(jobs)) {}
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+  [[nodiscard]] static int resolve_jobs(int jobs);
+
+  // Run body(i) for every i in [0, count).  jobs == 1 (or count <= 1) runs
+  // inline on the calling thread; otherwise min(jobs, count) workers pull
+  // cell indices from a shared atomic counter.  Cells must not share mutable
+  // state.  If cells throw, every remaining cell still runs, then the
+  // exception from the lowest-index failing cell is rethrown — so the set of
+  // executed cells is independent of worker scheduling.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& body) const;
+
+  // Map fn over [0, count) and collect per-cell results (by cell index, so
+  // output order is deterministic) plus wall/RSS timing.  Result must be
+  // default-constructible and movable.
+  template <typename Fn>
+  [[nodiscard]] auto map(std::size_t count, Fn&& fn) const
+      -> std::vector<SweepCellOutcome<
+          std::decay_t<std::invoke_result_t<Fn&, std::size_t>>>> {
+    using Result = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<SweepCellOutcome<Result>> cells(count);
+    run_indexed(count, [&](std::size_t i) {
+      const auto start = std::chrono::steady_clock::now();
+      cells[i].result = fn(i);
+      cells[i].timing.wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      cells[i].timing.peak_rss_kb = peak_rss_kb();
+    });
+    return cells;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace tangram::experiments

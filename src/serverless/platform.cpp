@@ -40,7 +40,10 @@ FunctionPlatform::FunctionPlatform(sim::Simulator& simulator,
     : sim_(simulator),
       config_(config),
       latency_(latency_params, common::Rng(seed, 5)),
-      fault_rng_(seed ^ 0xFA17ED, 15) {
+      fault_rng_(seed ^ 0xFA17ED, 15),
+      execution_latency_(config.telemetry_reservoir),
+      queueing_delay_(config.telemetry_reservoir),
+      cold_start_setup_(config.telemetry_reservoir) {
   if (config_.max_instances < 1)
     throw std::invalid_argument("FunctionPlatform: max_instances must be >=1");
   if (config_.autoscale.kind != AutoscalePolicy::Kind::kStatic &&
@@ -81,6 +84,7 @@ int FunctionPlatform::define_pool(const CapacityPoolConfig& config) {
   pool.name = resolved.name;
   pool.reserved = resolved.reserved;
   pool.burst_limit = resolved.burst_limit;
+  pool.backlog_depth = common::Sampler(config_.telemetry_reservoir);
   const int floor_limit = std::max(1, pool.reserved);
   pool.limit = config_.autoscale.initial_limit == 0
                    ? pool.burst_limit

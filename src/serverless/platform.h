@@ -189,6 +189,11 @@ struct PlatformConfig {
   std::vector<CapacityPoolConfig> pools;
   // Per-pool limit controller (applies to every pool, default included).
   AutoscalePolicy autoscale;
+  // Reservoir capacity for the platform's telemetry Samplers (execution
+  // latency, queueing delay, cold-start setup, per-pool backlog depth).
+  // 0 = retain every sample (legacy, exact quantiles); > 0 bounds per-sim
+  // telemetry memory for city-scale sweeps (see common/stats.h).
+  std::size_t telemetry_reservoir = 0;
 };
 
 // One inference request.  num_canvases > 0 selects the canvas-batch latency

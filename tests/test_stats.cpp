@@ -105,6 +105,58 @@ TEST(Sampler, AddAfterQuantileStillCorrect) {
   EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
 }
 
+TEST(Sampler, ReservoirExactBelowCapacity) {
+  Sampler s(8);
+  for (int i = 0; i < 8; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.values().size(), 8u);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
+TEST(Sampler, ReservoirBoundsRetainedValues) {
+  Sampler s(16);
+  for (int i = 0; i < 10000; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.values().size(), 16u);  // retained subset is bounded...
+  EXPECT_EQ(s.count(), 10000u);       // ...but the totals see every sample
+  EXPECT_EQ(s.capacity(), 16u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Sampler, ReservoirKeepsExactMoments) {
+  // mean / stddev / min / max come from RunningStats, never the reservoir.
+  Sampler bounded(4);
+  Sampler exact;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    bounded.add(x);
+    exact.add(x);
+  }
+  EXPECT_DOUBLE_EQ(bounded.mean(), exact.mean());
+  EXPECT_DOUBLE_EQ(bounded.stddev(), exact.stddev());
+  EXPECT_DOUBLE_EQ(bounded.stats().min(), exact.stats().min());
+  EXPECT_DOUBLE_EQ(bounded.stats().max(), exact.stats().max());
+}
+
+TEST(Sampler, ReservoirIsDeterministic) {
+  // The replacement RNG is embedded per sampler with a fixed seed, so the
+  // retained subset is a pure function of the add() sequence — the property
+  // the serial-vs-parallel sweep guarantee rests on.
+  Sampler a(32), b(32);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(static_cast<double>(i % 977));
+    b.add(static_cast<double>(i % 977));
+  }
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(Sampler, ZeroCapacityRetainsEverything) {
+  Sampler s(0);
+  for (int i = 0; i < 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.values().size(), 1000u);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 999.0);
+}
+
 TEST(Histogram, BucketAssignment) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);   // bucket 0
