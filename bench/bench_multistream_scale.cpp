@@ -25,6 +25,17 @@
 // reporting per-pool instance peaks, cold starts, and backlog-depth
 // quantiles — the provisioning axis of the BENCH_multistream artifact.
 //
+// Part 4 — adaptive rebalancing: the drifting-class-mix fleet.  Every
+// stream registers with per-patch SLOs (the router can't see the classes up
+// front), starts loose, and a quarter of the fleet drifts to the tight
+// class mid-trace.  The fixed router leaves everything on one shard —
+// exactly the head-of-line pathology Part 2 solves when classes are known
+// at registration.  RebalancePolicy::class_mix_drift migrates each stream
+// to its observed class's shard once the drift shows up in its patches;
+// enabling StealPolicy on top lets an idle shard raid a backlogged peer's
+// queue tail.  Reported per cell: tight/loose-class misses, cost, and the
+// adaptivity counters (migrations / steals / stolen bytes / ticks).
+//
 // Every sweep cell is an independent deterministic simulation, so the grid
 // runs on a ParallelSweepRunner worker pool (--jobs N; 0 = one worker per
 // hardware thread) with results bit-identical to --jobs 1.  Part 1 adds a
@@ -92,12 +103,28 @@ struct FleetPoint {
   std::vector<serverless::PoolTelemetry> pools;
 };
 
+// One cell of the Part 4 drifting-class-mix study: how a rebalance policy
+// handles streams whose SLO class is invisible at registration and changes
+// mid-trace.
+struct RebalancePoint {
+  std::string policy;  // "fixed" | "drift" | "drift+steal"
+  std::size_t shards = 0;
+  std::size_t tight_done = 0, tight_miss = 0;
+  std::size_t loose_done = 0, loose_miss = 0;
+  double cost_usd = 0.0;
+  std::size_t migrations = 0;
+  std::size_t steals = 0;
+  std::size_t steal_bytes = 0;
+  std::uint64_t ticks = 0;
+};
+
 double backlog_quantile(const common::Sampler& depth, double q) {
   return depth.count() ? depth.quantile(q) : 0.0;
 }
 
 void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
-                const std::vector<FleetPoint>& fleet) {
+                const std::vector<FleetPoint>& fleet,
+                const std::vector<RebalancePoint>& rebalance) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "bench_multistream_scale: cannot write " << path << "\n";
@@ -148,6 +175,22 @@ void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
           << ", \"autoscale_ticks\": " << pool.series.size() << "}";
     }
     out << "]}" << (i + 1 < fleet.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"rebalance\": [\n";
+  for (std::size_t i = 0; i < rebalance.size(); ++i) {
+    const RebalancePoint& r = rebalance[i];
+    out << "    {\"policy\": \"" << r.policy
+        << "\", \"shards\": " << r.shards
+        << ", \"tight_done\": " << r.tight_done
+        << ", \"tight_miss\": " << r.tight_miss
+        << ", \"loose_done\": " << r.loose_done
+        << ", \"loose_miss\": " << r.loose_miss
+        << ", \"cost_usd\": " << r.cost_usd
+        << ", \"migrations\": " << r.migrations
+        << ", \"steals\": " << r.steals
+        << ", \"steal_bytes\": " << r.steal_bytes
+        << ", \"ticks\": " << r.ticks << "}"
+        << (i + 1 < rebalance.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "\nwrote " << path << "\n";
@@ -459,6 +502,89 @@ int main(int argc, char** argv) {
   }
   auto_table.print();
 
-  if (!json_path.empty()) write_json(json_path, sweep, fleet_points);
+  // --- Part 4: adaptive rebalancing — the drifting-class-mix fleet ---------
+  std::cout << "\n=== Adaptive rebalancing: drifting class mix, " << kFleet
+            << " streams (all register per-patch; 1 in 4 drifts "
+            << kLooseSlo << "s -> " << kTightSlo << "s mid-trace) ===\n";
+  const double trace_duration_s =
+      static_cast<double>(trace.eval_frame_count()) / trace.spec.fps;
+  experiments::MultiStreamConfig drift_config;
+  drift_config.platform.max_instances = kFleetInstances;
+  drift_config.drift_at_s = trace_duration_s * 0.5;
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    drift_config.per_stream_slo.push_back(kLooseSlo);
+    drift_config.drift_to_slo.push_back(i % 4 == 0 ? kTightSlo : 0.0);
+  }
+  // No capacity plan: shards materialize from OBSERVED classes mid-run, so a
+  // registration-keyed pool plan has nothing to key on.  Profiling is
+  // unaffected by the drift axis, so the shared campaign still serves.
+  drift_config.profiled_estimator = shared_profile;
+  drift_config.jobs = jobs;
+
+  core::RebalancePolicy drift_steal = core::RebalancePolicy::class_mix_drift();
+  drift_steal.steal.enabled = true;
+  const struct {
+    const char* name;
+    core::RebalancePolicy policy;
+  } rebalancers[] = {
+      {"fixed", core::RebalancePolicy::none()},
+      {"drift", core::RebalancePolicy::class_mix_drift()},
+      {"drift+steal", drift_steal},
+  };
+  std::vector<experiments::MultiStreamCell> rebalance_cells;
+  for (const auto& entry : rebalancers) {
+    experiments::MultiStreamCell cell;
+    cell.cameras = fleet;
+    cell.config = drift_config;
+    cell.config.rebalance = entry.policy;
+    rebalance_cells.push_back(std::move(cell));
+  }
+  const auto rebalance_outcomes =
+      experiments::run_multistream_cells(rebalance_cells, jobs);
+
+  std::vector<RebalancePoint> rebalance_points;
+  common::Table rebalance_table({"Policy", "Shards", "Tight misses",
+                                 "Loose misses", "Migrations", "Steals",
+                                 "Stolen KB", "Ticks", "Cost ($)"});
+  for (std::size_t i = 0; i < rebalance_outcomes.size(); ++i) {
+    const experiments::MultiStreamResult& r = rebalance_outcomes[i].result;
+    RebalancePoint point;
+    point.policy = rebalancers[i].name;
+    point.shards = r.shards;
+    std::tie(point.tight_done, point.tight_miss) =
+        r.patch_class_misses(kTightSlo);
+    std::tie(point.loose_done, point.loose_miss) =
+        r.patch_class_misses(kLooseSlo);
+    point.cost_usd = r.total_cost;
+    point.migrations = r.rebalance.migrations;
+    point.steals = r.rebalance.steals;
+    point.steal_bytes = r.rebalance.steal_bytes;
+    point.ticks = r.rebalance.ticks;
+    rebalance_table.add_row(
+        {point.policy, std::to_string(point.shards),
+         std::to_string(point.tight_miss) + "/" +
+             std::to_string(point.tight_done),
+         std::to_string(point.loose_miss) + "/" +
+             std::to_string(point.loose_done),
+         std::to_string(point.migrations), std::to_string(point.steals),
+         common::Table::num(
+             static_cast<double>(point.steal_bytes) / 1024.0, 1),
+         std::to_string(point.ticks), common::Table::num(point.cost_usd, 4)});
+    rebalance_points.push_back(std::move(point));
+  }
+  rebalance_table.print();
+  const RebalancePoint& fixed_pt = rebalance_points[0];
+  const RebalancePoint& drift_pt = rebalance_points[1];
+  std::cout << "tight-class misses: " << fixed_pt.tight_miss
+            << " (fixed) -> " << drift_pt.tight_miss << " (drift) -> "
+            << rebalance_points[2].tight_miss << " (drift+steal)"
+            << (drift_pt.tight_miss <= fixed_pt.tight_miss &&
+                        drift_pt.cost_usd <= fixed_pt.cost_usd + 1e-9
+                    ? "  [rebalancing holds]"
+                    : "")
+            << "\n";
+
+  if (!json_path.empty())
+    write_json(json_path, sweep, fleet_points, rebalance_points);
   return 0;
 }

@@ -18,6 +18,9 @@ void InvokerStats::merge(const InvokerStats& other) {
   saturated_dispatches += other.saturated_dispatches;
   incremental_adds += other.incremental_adds;
   full_repacks += other.full_repacks;
+  migrations += other.migrations;
+  steals += other.steals;
+  steal_bytes += other.steal_bytes;
 }
 
 SloAwareInvoker::SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
@@ -59,7 +62,10 @@ void SloAwareInvoker::repack_full() {
 
 void SloAwareInvoker::on_patch(Patch patch) {
   patch.arrival_time = sim_.now();
+  attach_patch(std::move(patch));
+}
 
+void SloAwareInvoker::attach_patch(Patch patch) {
   if (solver_.sorted()) {
     admit_resorting(std::move(patch));
   } else {
@@ -204,6 +210,103 @@ void SloAwareInvoker::invoke_current() {
   slack_ = 0.0;
 
   invoke_(std::move(batch));
+}
+
+std::vector<Patch> SloAwareInvoker::detach_stream(int stream_id) {
+  // Stable swap-down compaction: one pass over the queue, each survivor
+  // moved at most once — O(queue) per migration regardless of how many
+  // patches leave, never O(queue) per removed patch.
+  std::vector<Patch> detached;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < queue_.size(); ++read) {
+    if (queue_[read].stream_id == stream_id) {
+      detached.push_back(std::move(queue_[read]));
+    } else {
+      if (write != read) queue_[write] = std::move(queue_[read]);
+      ++write;
+    }
+  }
+  if (detached.empty()) return detached;
+  queue_.resize(write);
+  if (queue_.empty()) {
+    placements_.clear();
+    session_.reset();
+    earliest_deadline_ = 0.0;
+    slack_ = 0.0;
+    timer_.cancel();
+    return detached;
+  }
+  // Survivors were placed with the departed patches interleaved; re-solve
+  // their canvas set from scratch.  Removing patches can only shrink the
+  // canvas set and raise the earliest deadline, so t_remain moves later —
+  // re-arming (never force-dispatching) is sufficient.
+  repack_full();
+  arm_timer();
+  return detached;
+}
+
+std::vector<Patch> SloAwareInvoker::release_tail(std::size_t count) {
+  const std::size_t keep = queue_.size() - count;
+  std::vector<Patch> released;
+  released.reserve(count);
+  for (std::size_t i = keep; i < queue_.size(); ++i)
+    released.push_back(std::move(queue_[i]));
+  queue_.resize(keep);
+  placements_.resize(keep);
+  session_.rollback_last(count);
+  // Shedding tail patches can only raise the earliest deadline and shrink
+  // the canvas set (smaller T_slack), so the victim's t_remain moves later:
+  // releasing is always SLO-safe for the work it keeps.
+  refresh_deadline_and_slack();
+  arm_timer();
+  return released;
+}
+
+std::size_t SloAwareInvoker::steal_from(SloAwareInvoker& victim,
+                                        std::size_t max_patches,
+                                        double slack_margin_s) {
+  if (&victim == this || max_patches == 0) return 0;
+  // The tentative admission extends this session in queue order; the sorted
+  // ablation re-solves in area order on every arrival, so a stolen tail
+  // would not be the suffix of either side's packing.
+  if (solver_.sorted() || victim.solver_.sorted()) return 0;
+  const std::size_t available = victim.queue_.size();
+  if (available < 2) return 0;  // the victim always keeps one patch
+
+  std::vector<Placement> placed;
+  for (std::size_t take = std::min(max_patches, available - 1); take > 0;
+       --take) {
+    const StitchSession::Checkpoint before = session_.checkpoint();
+    placed.clear();
+    double deadline = queue_.empty() ? std::numeric_limits<double>::infinity()
+                                     : earliest_deadline_;
+    for (std::size_t i = available - take; i < available; ++i) {
+      const Patch& patch = victim.queue_[i];
+      placed.push_back(session_.add(patch.size()));
+      deadline = std::min(deadline, patch.deadline());
+    }
+    const double slack = estimator_.slack(session_.canvas_count());
+    const bool fits = session_.canvas_count() <= config_.max_canvases;
+    const bool on_time = deadline - slack >= sim_.now() + slack_margin_s;
+    if (!fits || !on_time) {
+      // Un-admit and retry with a shorter suffix.
+      session_.rollback(before);
+      continue;
+    }
+    std::vector<Patch> moved = victim.release_tail(take);
+    for (std::size_t j = 0; j < moved.size(); ++j) {
+      stats_.steal_bytes += moved[j].bytes;
+      queue_.push_back(std::move(moved[j]));
+      placements_.push_back(placed[j]);
+    }
+    stats_.steals += take;
+    stats_.incremental_adds += take;
+    earliest_deadline_ = deadline;
+    slack_ = slack;
+    arm_timer();
+    return take;
+  }
+  return 0;
 }
 
 void SloAwareInvoker::flush() { invoke_current(); }

@@ -82,9 +82,15 @@ struct InvokerStats {
   // InvokerConfig::pool_headroom is wired).
   std::size_t saturated_dispatches = 0;
   // Packing-engine counters: arrivals absorbed by the incremental fast path
-  // vs. from-scratch solver runs (sort-by-area ablation mode only).
+  // vs. from-scratch solver runs (sort-by-area ablation mode, and the
+  // repack after a stream is detached mid-queue by migration).
   std::size_t incremental_adds = 0;
   std::size_t full_repacks = 0;
+  // Cross-shard adaptivity counters (the rebalancing layer; all zero under
+  // RebalancePolicy::none() with stealing disabled):
+  std::size_t migrations = 0;   // streams migrated OFF this shard
+  std::size_t steals = 0;       // patches stolen INTO this shard
+  std::size_t steal_bytes = 0;  // encoded bytes of those stolen patches
 
   void merge(const InvokerStats& other);
 };
@@ -117,7 +123,43 @@ class SloAwareInvoker {
   // Force-invoke whatever is pending (end of stream / shutdown).
   void flush();
 
+  // --- cross-shard adaptivity (the pool's rebalancing layer) ----------------
+  // Admit a patch WITHOUT restamping arrival_time — the attach half of
+  // stream migration (the patch already waited on its previous shard, and
+  // queue-to-invoke telemetry must keep charging that wait).  on_patch() is
+  // attach_patch() plus the arrival-time stamp.
+  void attach_patch(Patch patch);
+
+  // Detach half of migration / deregistration: remove every pending patch of
+  // `stream_id` in one stable compaction pass (FIFO among both the removed
+  // and the surviving patches is preserved — never an erase-from-middle per
+  // patch) and repack the survivors.  Batches already invoked are untouched,
+  // so no patch is ever split across shards.  Returns the removed patches in
+  // arrival order.
+  std::vector<Patch> detach_stream(int stream_id);
+
+  // Work stealing: tentatively admit a suffix of `victim`'s queue (up to
+  // max_patches, tail only, so FIFO within the victim is preserved) via this
+  // session's checkpoint/rollback, committing only when the whole batch —
+  // current queue plus stolen tail — still meets every deadline here with
+  // slack_margin_s to spare and fits GPU memory.  Tries the longest suffix
+  // first; on commit the victim releases its tail in O(k) (session tail
+  // rollback, no re-solve) and can only gain slack.  The victim always keeps
+  // at least one patch; returns the number stolen (0 = nothing packable,
+  // including either side running the sorted ablation, where tail identity
+  // does not hold).
+  std::size_t steal_from(SloAwareInvoker& victim, std::size_t max_patches,
+                         double slack_margin_s);
+
+  // Router bookkeeping: a stream was migrated off this shard.
+  void record_migration() { ++stats_.migrations; }
+
   [[nodiscard]] std::size_t pending_patches() const { return queue_.size(); }
+  // Read-only FIFO view of the pending queue, for the pool's rebalance /
+  // steal orchestration (victim selection scans patch stream ids).
+  [[nodiscard]] const std::vector<Patch>& pending_queue() const {
+    return queue_;
+  }
 
   // --- telemetry (drives Figs. 10b, 13, 14) ---------------------------------
   [[nodiscard]] const InvokerStats& stats() const { return stats_; }
@@ -152,6 +194,10 @@ class SloAwareInvoker {
  private:
   void admit_incremental(Patch patch);  // session fast path
   void admit_resorting(Patch patch);    // sorted-ablation from-scratch path
+  // Hand the last `count` queued patches (a queue suffix) to a thief:
+  // un-places them via the session's O(k) tail rollback and refreshes the
+  // deadline horizon.  The caller guarantees count < queue size.
+  std::vector<Patch> release_tail(std::size_t count);
   void repack_full();                   // rebuild session over queue_
   void refresh_deadline_and_slack();
   void arm_timer();                     // (re)schedule invocation at t_remain

@@ -31,6 +31,19 @@ Placement StitchSession::add(common::Size item) {
     throw std::invalid_argument(
         "StitchSession: patch exceeds canvas (split_oversized first)");
 
+  ItemMark mark;
+  mark.free_mark = free_rects_.mark();
+  switch (heuristic_) {
+    case PackHeuristic::kShelfFirstFit:
+      mark.undo_mark = shelf_undo_.size();
+      break;
+    case PackHeuristic::kSkylineBottomLeft:
+      mark.undo_mark = skyline_undo_.size();
+      break;
+    default:
+      break;
+  }
+
   Placement placement;
   switch (heuristic_) {
     case PackHeuristic::kGuillotineBssf:
@@ -53,6 +66,7 @@ Placement StitchSession::add(common::Size item) {
   placements_.push_back(placement);
   item_areas_.push_back(item.area());
   item_seq_.push_back(next_seq_++);
+  item_marks_.push_back(mark);
   return placement;
 }
 
@@ -93,6 +107,7 @@ void StitchSession::rollback(const Checkpoint& checkpoint) {
     placements_.pop_back();
     item_areas_.pop_back();
     item_seq_.pop_back();
+    item_marks_.pop_back();
   }
 
   switch (heuristic_) {
@@ -138,10 +153,28 @@ void StitchSession::rollback(const Checkpoint& checkpoint) {
   }
 }
 
+void StitchSession::rollback_last(std::size_t count) {
+  if (count > placements_.size())
+    throw std::invalid_argument(
+        "StitchSession::rollback_last: count exceeds live placements");
+  if (count == 0) return;
+  // item_marks_[target] is exactly the state a checkpoint() would have
+  // captured when `target` items were live — replay it through rollback()
+  // so every heuristic's undo machinery (and its staleness guard) is shared.
+  const std::size_t target = placements_.size() - count;
+  Checkpoint cp;
+  cp.items = target;
+  cp.free_mark = item_marks_[target].free_mark;
+  cp.undo_mark = item_marks_[target].undo_mark;
+  cp.last_seq = target == 0 ? 0 : item_seq_[target - 1];
+  rollback(cp);
+}
+
 void StitchSession::reset() {
   placements_.clear();
   item_areas_.clear();
   item_seq_.clear();  // next_seq_ keeps counting: old checkpoints stay stale
+  item_marks_.clear();
   used_area_.clear();
   free_rects_.clear();
   shelf_canvases_.clear();

@@ -86,6 +86,13 @@ class StitchSession {
   [[nodiscard]] Checkpoint checkpoint() const;
   void rollback(const Checkpoint& checkpoint);
 
+  // Undo the `count` most recent live placements without a caller-held
+  // checkpoint: the session keeps each add()'s pre-add marks, so rolling the
+  // queue tail back (the work-stealing release path) costs the same as a
+  // rollback() to a checkpoint taken just before those adds.  Throws
+  // std::invalid_argument when count exceeds the live placements.
+  void rollback_last(std::size_t count);
+
   // Drop all placements and canvases.
   void reset();
 
@@ -137,11 +144,20 @@ class StitchSession {
     std::vector<Segment> previous;  // segment list before the add
   };
 
+  // Pre-add state captured for every live placement (parallel to
+  // placements_), so rollback_last() can synthesize the checkpoint that a
+  // caller would have taken before any suffix of the adds.
+  struct ItemMark {
+    FreeRectIndex::Mark free_mark;
+    std::size_t undo_mark = 0;
+  };
+
   common::Size canvas_;
   PackHeuristic heuristic_;
   std::vector<Placement> placements_;
   std::vector<std::int64_t> item_areas_;   // parallel to placements_
   std::vector<std::uint64_t> item_seq_;    // parallel to placements_
+  std::vector<ItemMark> item_marks_;       // parallel to placements_
   std::uint64_t next_seq_ = 1;             // never reused, even by rollback
   std::vector<std::int64_t> used_area_;    // per canvas
   FreeRectIndex free_rects_;               // guillotine

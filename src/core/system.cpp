@@ -108,6 +108,14 @@ TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
         shard_config.pool_headroom = [platform = platform_.get(), pool_idx] {
           return platform->pool_headroom(pool_idx);
         };
+      },
+      config_.rebalance,
+      // The router moved a stream: restamp its telemetry's shard so
+      // per-stream reporting always names the shard now batching it.
+      [this](StreamId stream, int /*from*/, int to) {
+        auto& stats = streams_[static_cast<std::size_t>(stream)];
+        stats.shard = to;
+        ++stats.migrations;
       });
 }
 
@@ -128,9 +136,24 @@ StreamId TangramSystem::register_stream(StreamConfig config) {
   return id;
 }
 
+void TangramSystem::deregister_stream(StreamId stream) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size())
+    throw std::out_of_range("TangramSystem: unknown stream id");
+  auto& stats = streams_[static_cast<std::size_t>(stream)];
+  if (!stats.active)
+    throw std::invalid_argument("TangramSystem: stream already deregistered");
+  // Drops the stream's pending frame chain from its shard's queue; in-flight
+  // batches still index streams_ (never erased), so their completion
+  // callbacks land safely and the final telemetry stays consistent.
+  pool_->deregister(stream);
+  stats.active = false;
+}
+
 void TangramSystem::receive_patch(StreamId stream, Patch patch) {
   if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size())
     throw std::out_of_range("TangramSystem: unknown stream id");
+  if (!streams_[static_cast<std::size_t>(stream)].active)
+    throw std::invalid_argument("TangramSystem: stream was deregistered");
   patch.stream_id = stream;
   const double slo = streams_[static_cast<std::size_t>(stream)].slo_s;
   if (slo > 0.0) patch.slo = slo;
@@ -152,9 +175,10 @@ void TangramSystem::receive_patch(Patch patch) {
 }
 
 void TangramSystem::submit(StreamId stream, Patch patch) {
-  auto& stats = streams_[static_cast<std::size_t>(stream)];
-  ++stats.patches_received;
-  pool_->on_patch(stats.shard, std::move(patch));
+  ++streams_[static_cast<std::size_t>(stream)].patches_received;
+  // Route by stream id, not the cached StreamStats::shard — the rebalancer
+  // may have moved the stream since registration.
+  pool_->submit(stream, std::move(patch));
 }
 
 void TangramSystem::flush() { pool_->flush(); }

@@ -51,7 +51,10 @@ namespace tangram::core {
 struct StreamStats {
   std::string name;
   double slo_s = 0.0;                 // 0 = per-patch SLOs
-  int shard = 0;                      // invoker-pool shard (router decision)
+  int shard = 0;                      // CURRENT invoker-pool shard (the
+                                      // rebalancer may move it; see below)
+  bool active = true;                 // false after deregister_stream()
+  std::size_t migrations = 0;         // times the rebalancer re-routed it
   std::size_t patches_received = 0;   // after oversized-patch tiling
   std::size_t patches_completed = 0;
   std::size_t slo_violations = 0;
@@ -87,6 +90,12 @@ class TangramSystem {
     // Invoker-pool layout; default shards by SLO class.  ShardPolicy::single()
     // reproduces the legacy one-invoker layout byte-for-byte.
     ShardPolicy sharding;
+    // Adaptive re-routing on top of the registration-time decision: stream
+    // migration between shards and cross-shard work stealing (see
+    // RebalancePolicy in core/invoker_pool.h).  The default — none() with
+    // stealing disabled — schedules no timer and reproduces route-once
+    // behaviour byte-for-byte.
+    RebalancePolicy rebalance;
     // Null = every shard invokes through the platform's default pool.
     PoolAssignFn pool_for_shard;
     // Reservoir capacity for per-stream and per-shard telemetry Samplers
@@ -123,9 +132,19 @@ class TangramSystem {
   // streams share the invoker and platform, so their patches batch together.
   StreamId register_stream(StreamConfig config = {});
 
+  // Unregister a live stream (camera churn): its pending — not yet invoked —
+  // patches are discarded, later receive_patch() calls for it throw
+  // std::invalid_argument, and batches already in flight complete and record
+  // telemetry normally.  The id is never reused and the stream's final
+  // telemetry stays readable through stream_stats().  Throws
+  // std::out_of_range on an unknown id, std::invalid_argument if already
+  // deregistered.
+  void deregister_stream(StreamId stream);
+
   // Paper API 1, stream-addressed: the scheduler receives a patch from one
   // of the registered streams.  Oversized patches are tiled to the canvas
-  // automatically.  Throws std::out_of_range on an unknown stream id.
+  // automatically.  Throws std::out_of_range on an unknown stream id and
+  // std::invalid_argument on a deregistered one.
   void receive_patch(StreamId stream, Patch patch);
 
   // Legacy single-stream entry: routes to stream 0, registering a default

@@ -1,6 +1,7 @@
 #include "experiments/harness.h"
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <stdexcept>
 
@@ -39,6 +40,7 @@ core::TangramSystem::Config system_config_of(const MultiStreamConfig& config) {
   system_config.platform = config.platform;
   system_config.function_latency = config.latency;
   system_config.sharding = config.sharding;
+  system_config.rebalance = config.rebalance;
   system_config.pool_for_shard = config.pool_for_shard;
   system_config.telemetry_reservoir = config.telemetry_reservoir;
   if (config.telemetry_reservoir > 0 &&
@@ -227,6 +229,13 @@ std::pair<std::size_t, std::size_t> MultiStreamResult::class_completions_misses(
   return {completed, misses};
 }
 
+std::pair<std::size_t, std::size_t> MultiStreamResult::patch_class_misses(
+    double slo_class) const {
+  for (const auto& tally : patch_classes)
+    if (tally.slo_s == slo_class) return {tally.completed, tally.misses};
+  return {0, 0};
+}
+
 MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
                                   const MultiStreamConfig& config) {
   if (cameras.empty())
@@ -240,16 +249,41 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   for (std::size_t i = 0; i < cameras.size(); ++i)
     links.push_back(std::make_unique<net::Link>(sim, config.bandwidth_mbps));
 
-  core::TangramSystem system(sim, system_config_of(config), nullptr);
+  const bool drifting = config.drift_at_s >= 0.0;
+  const auto base_slo = [&config](std::size_t cam) {
+    return cam < config.per_stream_slo.size() ? config.per_stream_slo[cam]
+                                              : config.slo_s;
+  };
+  // The SLO class a patch captured at `capture` carries in a drifting run.
+  const auto patch_slo = [&](std::size_t cam, double capture) {
+    if (drifting && capture >= config.drift_at_s &&
+        cam < config.drift_to_slo.size() && config.drift_to_slo[cam] > 0.0)
+      return config.drift_to_slo[cam];
+    return base_slo(cam);
+  };
+
+  // Per-patch-SLO-class accounting (completions/misses keyed by the SLO the
+  // patch carried), filled through the result callback for drifting runs —
+  // pure tallying, so wiring it changes no simulation behaviour.
+  std::map<double, std::pair<std::size_t, std::size_t>> class_tally;
+  core::TangramSystem system(
+      sim, system_config_of(config),
+      [&class_tally](const core::Patch& patch,
+                     const serverless::InvocationRecord& record) {
+        auto& tally = class_tally[patch.slo];
+        ++tally.first;
+        if (record.finish_time > patch.deadline() + 1e-9) ++tally.second;
+      });
 
   std::vector<core::StreamId> streams;
   streams.reserve(cameras.size());
   for (std::size_t cam = 0; cam < cameras.size(); ++cam) {
     core::StreamConfig stream;
     stream.name = "cam-" + std::to_string(cam);
-    stream.slo_s = cam < config.per_stream_slo.size()
-                       ? config.per_stream_slo[cam]
-                       : config.slo_s;
+    // Drifting runs register every stream with per-patch SLOs (slo_s = 0):
+    // the registration-time router can't see the classes, only the
+    // rebalancer's drift tracking can.
+    stream.slo_s = drifting ? 0.0 : base_slo(cam);
     streams.push_back(system.register_stream(std::move(stream)));
   }
 
@@ -285,6 +319,9 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
           patch.region = frame.patches[p];
           patch.generation_time = capture;
           patch.bytes = frame.patch_bytes[p];
+          // Non-drifting runs leave patch.slo alone — the system stamps the
+          // stream's registered class exactly as before.
+          if (drifting) patch.slo = patch_slo(cam, capture);
           ++result.patches_sent;
           links[cam]->send(patch.bytes, [&, cam, patch] {
             system.receive_patch(streams[cam], patch);
@@ -326,6 +363,20 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   result.batches = invoker_stats.batches_invoked;
   result.batch_canvases = invoker_stats.batch_canvas_count;
   result.canvas_efficiency = invoker_stats.canvas_efficiency;
+  result.saturated_dispatches = invoker_stats.saturated_dispatches;
+  result.rebalance.enabled = config.rebalance.active();
+  result.rebalance.ticks = system.pool().rebalance_ticks();
+  result.rebalance.migrations = invoker_stats.migrations;
+  result.rebalance.steals = invoker_stats.steals;
+  result.rebalance.steal_bytes = invoker_stats.steal_bytes;
+  // The pool allocates an (empty) series per shard even when no policy is
+  // active; only surface them when the adaptive layer actually ran.
+  if (result.rebalance.enabled)
+    result.rebalance.shard_occupancy = system.pool().shard_occupancy();
+  result.per_patch_drift = drifting;
+  for (const auto& [slo, tally] : class_tally)
+    result.patch_classes.push_back(
+        MultiStreamResult::SloClassTally{slo, tally.first, tally.second});
   result.makespan_s = sim.now();
   result.events_executed = sim.events_executed();
   result.pools = system.platform().pool_telemetry();
@@ -359,17 +410,20 @@ std::shared_ptr<const core::LatencyEstimator> profile_estimator(
 ShardedRunResult run_sharded(const std::vector<const SceneTrace*>& cameras,
                              const MultiStreamConfig& config) {
   // The single/sharded legs measure the invoker layout alone: strip the
-  // capacity plan AND any autoscale policy so they keep matching the PR-2
-  // baselines byte-for-byte; only the reserved leg runs the caller's
-  // provisioning config.
+  // capacity plan, any autoscale policy, AND any rebalance policy so they
+  // keep matching the PR-2 baselines byte-for-byte; only the reserved leg
+  // runs the caller's provisioning config (still without rebalancing — the
+  // rebalanced leg isolates the adaptive layer).
   MultiStreamConfig single_config = config;
   single_config.sharding = core::ShardPolicy::single();
   single_config.pool_for_shard = nullptr;
   single_config.platform.autoscale = serverless::AutoscalePolicy{};
+  single_config.rebalance = core::RebalancePolicy{};
   MultiStreamConfig sharded_config = config;
   sharded_config.sharding = core::ShardPolicy::per_slo_class();
   sharded_config.pool_for_shard = nullptr;
   sharded_config.platform.autoscale = serverless::AutoscalePolicy{};
+  sharded_config.rebalance = core::RebalancePolicy{};
 
   // The legs differ only in layout/provisioning, never in the platform
   // resources, canvas, slack, or seed the offline profiling campaign
@@ -381,7 +435,18 @@ ShardedRunResult run_sharded(const std::vector<const SceneTrace*>& cameras,
   if (config.pool_for_shard) {
     MultiStreamConfig reserved_config = config;
     reserved_config.sharding = core::ShardPolicy::per_slo_class();
+    reserved_config.rebalance = core::RebalancePolicy{};
     cells.push_back({cameras, std::move(reserved_config)});
+  }
+  // The adaptive leg: per-class shards plus the caller's RebalancePolicy,
+  // with capacity plan / autoscale stripped exactly like the sharded leg —
+  // so sharded vs rebalanced is the adaptive layer, nothing else.
+  if (config.rebalance.active()) {
+    MultiStreamConfig rebalanced_config = config;
+    rebalanced_config.sharding = core::ShardPolicy::per_slo_class();
+    rebalanced_config.pool_for_shard = nullptr;
+    rebalanced_config.platform.autoscale = serverless::AutoscalePolicy{};
+    cells.push_back({cameras, std::move(rebalanced_config)});
   }
   if (!config.profiled_estimator) {
     const auto profile = core::TangramSystem::profile_estimator(
@@ -393,9 +458,14 @@ ShardedRunResult run_sharded(const std::vector<const SceneTrace*>& cameras,
   ShardedRunResult result;
   result.single = std::move(outcomes[0].result);
   result.sharded = std::move(outcomes[1].result);
-  if (outcomes.size() > 2) {
-    result.sharded_reserved = std::move(outcomes[2].result);
+  std::size_t next = 2;
+  if (config.pool_for_shard) {
+    result.sharded_reserved = std::move(outcomes[next++].result);
     result.has_reserved = true;
+  }
+  if (config.rebalance.active()) {
+    result.rebalanced = std::move(outcomes[next++].result);
+    result.has_rebalanced = true;
   }
   return result;
 }
@@ -484,7 +554,42 @@ std::string deterministic_json(const MultiStreamResult& result) {
     append_sampler(out, "backlog_depth", p.backlog_depth);
     out += '}';
   }
-  out += "]}";
+  out += ']';
+  // The adaptive-layer block exists only for runs that used it (an active
+  // RebalancePolicy or the drifting-class-mix workload): every legacy
+  // configuration keeps producing the exact pre-rebalancing byte stream —
+  // the guarantee ladder's comparison key must not move for them.
+  if (result.rebalance.enabled || result.per_patch_drift) {
+    out += ",\"rebalance\":{\"ticks\":" + std::to_string(result.rebalance.ticks);
+    out += ",\"migrations\":" + std::to_string(result.rebalance.migrations);
+    out += ",\"steals\":" + std::to_string(result.rebalance.steals);
+    out += ",\"steal_bytes\":" + std::to_string(result.rebalance.steal_bytes);
+    out += ",\"saturated_dispatches\":" +
+           std::to_string(result.saturated_dispatches);
+    out += ",\"shard_occupancy\":[";
+    for (std::size_t s = 0; s < result.rebalance.shard_occupancy.size(); ++s) {
+      if (s) out += ',';
+      out += '[';
+      const auto& series = result.rebalance.shard_occupancy[s];
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i) out += ',';
+        out += "{\"t\":" + fmt(series[i].time);
+        out += ",\"pending\":" + std::to_string(series[i].pending);
+        out += ",\"streams\":" + std::to_string(series[i].streams) + '}';
+      }
+      out += ']';
+    }
+    out += "],\"patch_classes\":[";
+    for (std::size_t i = 0; i < result.patch_classes.size(); ++i) {
+      const auto& tally = result.patch_classes[i];
+      if (i) out += ',';
+      out += "{\"slo_s\":" + fmt(tally.slo_s);
+      out += ",\"completed\":" + std::to_string(tally.completed);
+      out += ",\"misses\":" + std::to_string(tally.misses) + '}';
+    }
+    out += "]}";
+  }
+  out += '}';
   return out;
 }
 

@@ -126,6 +126,20 @@ struct MultiStreamConfig {
   // core::ShardPolicy::single() reproduces the pre-pool single-invoker runs
   // byte-for-byte.
   core::ShardPolicy sharding;
+  // Adaptive re-routing layer: stream migration between shards plus
+  // cross-shard work stealing (core::RebalancePolicy).  The default — none()
+  // with stealing off — schedules no timer and is byte-identical to the
+  // route-once runs.
+  core::RebalancePolicy rebalance;
+  // Drifting-class-mix scenario: when drift_at_s >= 0, every stream
+  // registers with slo_s = 0 (the SLO rides on each patch, so the
+  // registration-time router sees ONE per-patch class — the fixed-sharding
+  // pathology) and a patch captured at t >= drift_at_s from stream i carries
+  // drift_to_slo[i] instead of the stream's base class (entries <= 0, or
+  // streams beyond the vector, keep the base).  Per-class accounting for
+  // these runs is in MultiStreamResult::patch_classes.
+  double drift_at_s = -1.0;
+  std::vector<double> drift_to_slo;
   // Capacity-pool wiring: maps each invoker shard to a reserved-concurrency
   // pool carved out of platform.max_instances (see TangramSystem::Config).
   // Null = every shard on the platform's default pool (legacy behaviour).
@@ -177,6 +191,35 @@ struct MultiStreamResult {
   common::Sampler cold_start_setup;  // setup seconds per cold start
   int fleet_size = 0;                // instance slots (concurrency peak)
 
+  // Batches dispatched into a saturated capacity pool, summed across EVERY
+  // shard (InvokerPool::aggregate_stats — never a shard-0-only number).
+  std::size_t saturated_dispatches = 0;
+
+  // --- adaptive-rebalancing telemetry ----------------------------------------
+  struct RebalanceTelemetry {
+    bool enabled = false;  // a migration policy and/or stealing was active
+    std::uint64_t ticks = 0;
+    std::size_t migrations = 0;
+    std::size_t steals = 0;
+    std::size_t steal_bytes = 0;
+    // Per-shard occupancy series, one sample per rebalance tick.
+    std::vector<std::vector<core::ShardOccupancySample>> shard_occupancy;
+  };
+  RebalanceTelemetry rebalance;
+
+  // Completions / SLO misses keyed by the SLO class each PATCH carried —
+  // the class accounting that stays meaningful when streams register with
+  // slo_s = 0 and drift between classes (class_completions_misses() keys on
+  // the registered stream class, which such runs don't have).  Sorted by
+  // slo_s ascending; filled only for drifting-class-mix runs.
+  struct SloClassTally {
+    double slo_s = 0.0;
+    std::size_t completed = 0;
+    std::size_t misses = 0;
+  };
+  std::vector<SloClassTally> patch_classes;
+  bool per_patch_drift = false;  // the run used MultiStreamConfig drift
+
   [[nodiscard]] double violation_rate() const {
     return patches_completed
                ? static_cast<double>(slo_violations) / patches_completed
@@ -186,6 +229,9 @@ struct MultiStreamResult {
   [[nodiscard]] common::Sampler pooled_queue_to_invoke() const;
   // Completions / SLO misses summed over the streams of one SLO class.
   [[nodiscard]] std::pair<std::size_t, std::size_t> class_completions_misses(
+      double slo_class) const;
+  // Completions / SLO misses of one PER-PATCH SLO class (patch_classes).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> patch_class_misses(
       double slo_class) const;
 };
 
@@ -241,6 +287,12 @@ struct ShardedRunResult {
   // has_reserved is true (the config wired pools).
   MultiStreamResult sharded_reserved;
   bool has_reserved = false;
+  // per_slo_class() + config.rebalance (capacity plan and autoscale stripped
+  // like the sharded leg, so sharded-vs-rebalanced isolates the adaptive
+  // layer); only meaningful when has_rebalanced is true (the config's
+  // RebalancePolicy was active).
+  MultiStreamResult rebalanced;
+  bool has_rebalanced = false;
 };
 
 // The legs share one offline profiling campaign (built once, shared by

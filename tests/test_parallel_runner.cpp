@@ -175,6 +175,40 @@ TEST_F(DeterminismTest, RunShardedLegsIdenticalAcrossJobCounts) {
             deterministic_json(parallel.sharded_reserved));
 }
 
+TEST_F(DeterminismTest, RebalancingSweepBitIdenticalAcrossJobCounts) {
+  // The adaptive layer (migration timer, work stealing, drift tracking) runs
+  // entirely in sim-time, so a rebalancing grid keeps the serial/parallel
+  // bit-identity contract.
+  std::vector<MultiStreamCell> cells;
+  for (const int variant : {0, 1, 2}) {
+    MultiStreamCell cell;
+    cell.cameras.assign(8, trace_);
+    cell.config.drift_at_s = 1.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      cell.config.per_stream_slo.push_back(2.0);
+      cell.config.drift_to_slo.push_back(i % 4 == 0 ? 0.25 : 0.0);
+    }
+    if (variant == 0) {
+      cell.config.rebalance = core::RebalancePolicy::load_threshold(
+          /*imbalance_ratio=*/1.5, /*min_backlog=*/2, /*interval_s=*/0.1);
+    } else {
+      cell.config.rebalance =
+          core::RebalancePolicy::class_mix_drift(/*min_run=*/2,
+                                                 /*interval_s=*/0.1);
+      if (variant == 2) {
+        cell.config.rebalance.steal.enabled = true;
+        cell.config.rebalance.steal.min_victim_backlog = 2;
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+  const auto serial = json_of(run_multistream_cells(cells, 1));
+  const auto parallel = json_of(run_multistream_cells(cells, 8));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+}
+
 TEST_F(DeterminismTest, ConcurrentSameSeedSimsIdentical) {
   // Two identically-seeded sims racing on raw threads (not the runner)
   // produce identical results: no shared mutable state anywhere in the
