@@ -44,15 +44,41 @@
 // high-water mark after the cell (VmHWM — monotone across cells, so within
 // one run it only identifies which cell first pushed the peak).
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "experiments/harness.h"
+
+namespace {
+
+// Process-global allocation counter behind the dispatch-path telemetry: the
+// zero-allocation dispatch pipeline keeps steady-state batch dispatch off
+// the heap, so allocs-per-patch over a whole cell is dominated by start-up
+// growth and should shrink PR over PR.  Relaxed is enough — the counter is
+// only read around a serial cell.
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace tangram;
 
@@ -118,13 +144,26 @@ struct RebalancePoint {
   std::uint64_t ticks = 0;
 };
 
+// Allocation profile of one serial dispatch-heavy cell (--json
+// "dispatch_path"): total operator-new calls per completed patch, the
+// cross-PR regression number for the zero-allocation dispatch pipeline.
+struct DispatchPathPoint {
+  std::size_t streams = 0;
+  std::size_t patches = 0;
+  std::uint64_t allocs = 0;
+  double allocs_per_patch = 0.0;
+  double wall_ms = 0.0;
+  double patches_per_wall_sec = 0.0;
+};
+
 double backlog_quantile(const common::Sampler& depth, double q) {
   return depth.count() ? depth.quantile(q) : 0.0;
 }
 
 void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
                 const std::vector<FleetPoint>& fleet,
-                const std::vector<RebalancePoint>& rebalance) {
+                const std::vector<RebalancePoint>& rebalance,
+                const DispatchPathPoint& dispatch) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "bench_multistream_scale: cannot write " << path << "\n";
@@ -192,7 +231,13 @@ void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
         << ", \"ticks\": " << r.ticks << "}"
         << (i + 1 < rebalance.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"dispatch_path\": {\"streams\": " << dispatch.streams
+      << ", \"patches\": " << dispatch.patches
+      << ", \"allocs\": " << dispatch.allocs
+      << ", \"allocs_per_patch\": " << dispatch.allocs_per_patch
+      << ", \"wall_ms\": " << dispatch.wall_ms
+      << ", \"patches_per_wall_sec\": " << dispatch.patches_per_wall_sec
+      << "}\n}\n";
   std::cout << "\nwrote " << path << "\n";
 }
 
@@ -319,6 +364,46 @@ int main(int argc, char** argv) {
   table.print();
   // Index of the 64-stream single-shard point (last of the first series).
   const experiments::MultiStreamResult& last_result = outcomes[6].result;
+
+  // --- Dispatch-path allocation telemetry ----------------------------------
+  // Serial re-run of the 64-stream single-shard cell with the process-global
+  // allocation counter sampled around it: whole-run operator-new calls per
+  // completed patch.  Steady-state dispatch is allocation-free (pinned by
+  // test_dispatch_alloc), so this number is start-up growth amortized over
+  // the cell and falls as recycling coverage widens.
+  DispatchPathPoint dispatch_point;
+  {
+    experiments::MultiStreamCell cell = cells[6];
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint64_t allocs_start =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    const auto result =
+        experiments::run_multistream(cell.cameras, cell.config);
+    dispatch_point.allocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - allocs_start;
+    dispatch_point.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    dispatch_point.streams = cell.cameras.size();
+    dispatch_point.patches = result.patches_completed;
+    dispatch_point.allocs_per_patch =
+        result.patches_completed
+            ? static_cast<double>(dispatch_point.allocs) /
+                  static_cast<double>(result.patches_completed)
+            : 0.0;
+    dispatch_point.patches_per_wall_sec =
+        dispatch_point.wall_ms > 0.0
+            ? 1000.0 * static_cast<double>(result.patches_completed) /
+                  dispatch_point.wall_ms
+            : 0.0;
+  }
+  std::cout << "\ndispatch path (64 streams, serial): "
+            << dispatch_point.allocs << " allocs / "
+            << dispatch_point.patches << " patches = "
+            << common::Table::num(dispatch_point.allocs_per_patch, 2)
+            << " allocs/patch, "
+            << common::Table::num(dispatch_point.wall_ms, 1) << " ms\n";
 
   // Per-stream SLO-miss telemetry at the 64-stream point, by SLO class.
   std::cout << "\n=== Per-stream telemetry at 64 streams (by SLO class) ===\n";
@@ -585,6 +670,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   if (!json_path.empty())
-    write_json(json_path, sweep, fleet_points, rebalance_points);
+    write_json(json_path, sweep, fleet_points, rebalance_points,
+               dispatch_point);
   return 0;
 }

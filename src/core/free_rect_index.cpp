@@ -130,8 +130,7 @@ FreeRectIndex::Placed FreeRectIndex::place(common::Size item) {
   Candidate best = best_short_side_fit(item);
 
   if (best.canvas < 0) {
-    canvases_.emplace_back();
-    rect_ids_.emplace_back();
+    open_canvas();
     push_rect(canvases_.size() - 1,
               common::Rect{0, 0, canvas_.width, canvas_.height});
     journal(Op::kOpenCanvas, 0);
@@ -203,16 +202,37 @@ void FreeRectIndex::rollback(Mark mark) {
         // Undone last-in-first-out, so the canvas is back to its initial
         // single full-canvas rect; drop it and the canvas together.
         remove_rect(canvases_.size() - 1, 0);
-        canvases_.pop_back();
-        rect_ids_.pop_back();
+        retire_canvas();
         break;
     }
   }
 }
 
+void FreeRectIndex::open_canvas() {
+  if (spare_lists_.empty()) {
+    canvases_.emplace_back();
+    rect_ids_.emplace_back();
+    return;
+  }
+  canvases_.push_back(std::move(spare_lists_.back()));
+  spare_lists_.pop_back();
+  rect_ids_.push_back(std::move(spare_ids_.back()));
+  spare_ids_.pop_back();
+}
+
+void FreeRectIndex::retire_canvas() {
+  canvases_.back().clear();
+  spare_lists_.push_back(std::move(canvases_.back()));
+  canvases_.pop_back();
+  rect_ids_.back().clear();
+  spare_ids_.push_back(std::move(rect_ids_.back()));
+  rect_ids_.pop_back();
+}
+
 void FreeRectIndex::clear() {
-  canvases_.clear();
-  rect_ids_.clear();
+  // Park every canvas's vectors rather than destroying them: after the first
+  // few sessions the place() loop runs entirely on recycled capacity.
+  while (!canvases_.empty()) retire_canvas();
   journal_.clear();
   for (auto& bucket : buckets_) bucket.clear();
   std::fill(bucket_bits_.begin(), bucket_bits_.end(), 0);

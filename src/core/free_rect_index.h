@@ -115,6 +115,13 @@ class FreeRectIndex {
   void bucket_remove(std::uint32_t canvas, std::uint64_t rect_id,
                      common::Rect rect);
 
+  // Canvas lifecycle: closed canvases park their (cleared) free-list and id
+  // vectors in spare_lists_/spare_ids_ instead of being destroyed, and
+  // open_canvas() revives a parked pair — so per-canvas vector capacity
+  // survives clear() and the steady-state place() loop never reallocates.
+  void open_canvas();
+  void retire_canvas();
+
   // (canvas, position) of the BSSF winner, or canvas < 0 when nothing fits.
   struct Candidate {
     int canvas = -1;
@@ -127,6 +134,10 @@ class FreeRectIndex {
   // Per-canvas insertion ids, parallel to canvases_[c]; strictly increasing
   // within a canvas, which is what makes id order == position order.
   std::vector<std::vector<std::uint64_t>> rect_ids_;
+  // Capacity parking lot for closed canvases (see open_canvas()); bounded by
+  // the high-water canvas count.
+  std::vector<std::vector<common::Rect>> spare_lists_;
+  std::vector<std::vector<std::uint64_t>> spare_ids_;
   std::uint64_t next_rect_id_ = 1;
   std::size_t total_rects_ = 0;
 

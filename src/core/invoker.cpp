@@ -23,15 +23,47 @@ void InvokerStats::merge(const InvokerStats& other) {
   steal_bytes += other.steal_bytes;
 }
 
+Batch BatchPool::acquire() {
+  if (shells_.empty()) return Batch{};
+  Batch batch = std::move(shells_.back());
+  shells_.pop_back();
+  return batch;
+}
+
+PackedCanvas BatchPool::acquire_canvas() {
+  if (canvases_.empty()) return PackedCanvas{};
+  PackedCanvas canvas = std::move(canvases_.back());
+  canvases_.pop_back();
+  return canvas;
+}
+
+void BatchPool::recycle(Batch&& batch) {
+  for (PackedCanvas& canvas : batch.canvases) {
+    if (canvases_.size() >= kMaxPooledCanvases) break;
+    canvas.patches.clear();
+    canvas.positions.clear();
+    canvas.fill = 0.0;
+    canvases_.push_back(std::move(canvas));
+  }
+  batch.canvases.clear();
+  batch.invoke_time = 0.0;
+  batch.earliest_deadline = 0.0;
+  batch.slack_estimate = 0.0;
+  batch.total_patches = 0;
+  if (shells_.size() < kMaxPooledShells) shells_.push_back(std::move(batch));
+}
+
 SloAwareInvoker::SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
                                  const LatencyEstimator& estimator,
                                  InvokerConfig config, InvokeFn invoke)
     : sim_(simulator),
       solver_(solver),
       estimator_(estimator),
-      config_(config),
+      config_(std::move(config)),
       invoke_(std::move(invoke)),
-      session_(config.canvas, solver.heuristic()) {
+      batch_pool_(config_.batch_pool ? config_.batch_pool
+                                     : std::make_shared<BatchPool>()),
+      session_(config_.canvas, solver.heuristic()) {
   if (!invoke_)
     throw std::invalid_argument("SloAwareInvoker: invoke callback required");
   if (config_.max_canvases < 1)
@@ -39,6 +71,7 @@ SloAwareInvoker::SloAwareInvoker(sim::Simulator& simulator, StitchSolver solver,
   stats_.canvas_efficiency = common::Sampler(config_.telemetry_reservoir);
   stats_.batch_canvas_count = common::Sampler(config_.telemetry_reservoir);
   stats_.batch_patch_count = common::Sampler(config_.telemetry_reservoir);
+  single_canvas_slack_ = estimator_.slack(1);
 }
 
 void SloAwareInvoker::refresh_deadline_and_slack() {
@@ -51,11 +84,12 @@ void SloAwareInvoker::refresh_deadline_and_slack() {
 void SloAwareInvoker::repack_full() {
   session_.reset();
   placements_.assign(queue_.size(), Placement{});
-  std::vector<common::Size> sizes;
-  sizes.reserve(queue_.size());
-  for (const auto& p : queue_) sizes.push_back(p.size());
-  for (const std::size_t idx : make_pack_order(sizes, solver_.sorted()))
-    placements_[idx] = session_.add(sizes[idx]);
+  repack_sizes_.clear();
+  repack_sizes_.reserve(queue_.size());
+  for (const auto& p : queue_) repack_sizes_.push_back(p.size());
+  make_pack_order_into(repack_sizes_, solver_.sorted(), repack_order_);
+  for (const std::size_t idx : repack_order_)
+    placements_[idx] = session_.add(repack_sizes_[idx]);
   ++stats_.full_repacks;
   refresh_deadline_and_slack();
 }
@@ -93,6 +127,10 @@ void SloAwareInvoker::admit_incremental(Patch patch) {
   // second solver run.
   const StitchSession::Checkpoint c_old = session_.checkpoint();
   const double old_deadline = earliest_deadline_;
+  // T_slack of C_old: slack_ already holds estimator_.slack() for the
+  // current canvas set (every mutation path refreshes it), so the rollback
+  // branch below restores it instead of re-querying the estimator.
+  const double old_slack = slack_;
   const bool had_queue = !queue_.empty();
 
   // add() before the queue push: if the patch is invalid and add() throws,
@@ -119,7 +157,7 @@ void SloAwareInvoker::admit_incremental(Patch patch) {
     placements_.pop_back();
     session_.rollback(c_old);
     earliest_deadline_ = old_deadline;
-    slack_ = estimator_.slack(session_.canvas_count());
+    slack_ = old_slack;  // == estimator_.slack(C_old's canvas count)
     invoke_current();  // Invoke(C_old)
     ++stats_.forced_flushes;
 
@@ -128,7 +166,8 @@ void SloAwareInvoker::admit_incremental(Patch patch) {
     placements_.push_back(fresh);
     ++stats_.incremental_adds;
     earliest_deadline_ = queue_.back().deadline();
-    slack_ = estimator_.slack(session_.canvas_count());
+    // A single patch on a fresh session is always exactly one canvas.
+    slack_ = single_canvas_slack_;
   }
 }
 
@@ -136,7 +175,7 @@ void SloAwareInvoker::admit_resorting(Patch patch) {
   // Sort-by-area ablation: placement order is not arrival order, so the
   // canvas set must be re-solved from scratch on every arrival (the paper's
   // literal Algorithm 2 line 8).
-  std::vector<Patch> old_queue = queue_;
+  resort_scratch_.assign(queue_.begin(), queue_.end());  // C_old's queue
   queue_.push_back(std::move(patch));
   repack_full();
 
@@ -144,14 +183,13 @@ void SloAwareInvoker::admit_resorting(Patch patch) {
   const bool would_violate = t_remain < sim_.now();
   const bool memory_overflow = session_.canvas_count() > config_.max_canvases;
 
-  if ((would_violate || memory_overflow) && !old_queue.empty()) {
+  if ((would_violate || memory_overflow) && !resort_scratch_.empty()) {
     Patch newcomer = std::move(queue_.back());
-    queue_ = std::move(old_queue);
+    std::swap(queue_, resort_scratch_);  // both vectors keep their capacity
     repack_full();
-    invoke_current();  // Invoke(C_old)
+    invoke_current();  // Invoke(C_old); leaves queue_ empty
     ++stats_.forced_flushes;
 
-    queue_.clear();
     queue_.push_back(std::move(newcomer));
     repack_full();
   }
@@ -172,22 +210,33 @@ void SloAwareInvoker::arm_timer() {
     timer_ = sim_.schedule_at(when, [this] { invoke_current(); });
 }
 
-Batch SloAwareInvoker::build_batch() const {
-  Batch batch;
+Batch SloAwareInvoker::build_batch() {
+  Batch batch = batch_pool_->acquire();
   batch.invoke_time = sim_.now();
   batch.earliest_deadline = earliest_deadline_;
   batch.slack_estimate = slack_;
   batch.total_patches = static_cast<int>(queue_.size());
-  batch.canvases.resize(static_cast<std::size_t>(session_.canvas_count()));
+  const auto canvases = static_cast<std::size_t>(session_.canvas_count());
+  // Counting pass: exact per-canvas patch totals, so each recycled canvas
+  // reserves once (growing only past its high-water capacity) and the fill
+  // loop below never reallocates.
+  canvas_counts_.assign(canvases, 0);
+  for (const Placement& pl : placements_)
+    ++canvas_counts_[static_cast<std::size_t>(pl.canvas_index)];
+  batch.canvases.reserve(canvases);
+  for (std::size_t c = 0; c < canvases; ++c) {
+    PackedCanvas canvas = batch_pool_->acquire_canvas();
+    canvas.patches.reserve(canvas_counts_[c]);
+    canvas.positions.reserve(canvas_counts_[c]);
+    canvas.fill = session_.canvas_fill(c);
+    batch.canvases.push_back(std::move(canvas));
+  }
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Placement& pl = placements_[i];
     auto& canvas = batch.canvases[static_cast<std::size_t>(pl.canvas_index)];
     canvas.patches.push_back(queue_[i]);
     canvas.positions.push_back(pl.position);
   }
-  const std::vector<double> fill = session_.canvas_fill();
-  for (std::size_t c = 0; c < batch.canvases.size(); ++c)
-    batch.canvases[c].fill = fill[c];
   return batch;
 }
 
@@ -212,21 +261,24 @@ void SloAwareInvoker::invoke_current() {
   invoke_(std::move(batch));
 }
 
-std::vector<Patch> SloAwareInvoker::detach_stream(int stream_id) {
-  // Stable swap-down compaction: one pass over the queue, each survivor
-  // moved at most once — O(queue) per migration regardless of how many
-  // patches leave, never O(queue) per removed patch.
-  std::vector<Patch> detached;
+const std::vector<Patch>& SloAwareInvoker::detach_stream(int stream_id) {
+  // Stable swap-down compaction IN PLACE: one pass over the queue, each
+  // survivor moved at most once — O(queue) per migration regardless of how
+  // many patches leave, never O(queue) per removed patch.  queue_ and
+  // placements_ are compacted without fresh vectors, and the detached
+  // patches land in member scratch, so migrations never reset the shard's
+  // high-water capacity.
+  detach_scratch_.clear();
   std::size_t write = 0;
   for (std::size_t read = 0; read < queue_.size(); ++read) {
     if (queue_[read].stream_id == stream_id) {
-      detached.push_back(std::move(queue_[read]));
+      detach_scratch_.push_back(std::move(queue_[read]));
     } else {
       if (write != read) queue_[write] = std::move(queue_[read]);
       ++write;
     }
   }
-  if (detached.empty()) return detached;
+  if (detach_scratch_.empty()) return detach_scratch_;
   queue_.resize(write);
   if (queue_.empty()) {
     placements_.clear();
@@ -234,7 +286,7 @@ std::vector<Patch> SloAwareInvoker::detach_stream(int stream_id) {
     earliest_deadline_ = 0.0;
     slack_ = 0.0;
     timer_.cancel();
-    return detached;
+    return detach_scratch_;
   }
   // Survivors were placed with the departed patches interleaved; re-solve
   // their canvas set from scratch.  Removing patches can only shrink the
@@ -242,15 +294,15 @@ std::vector<Patch> SloAwareInvoker::detach_stream(int stream_id) {
   // re-arming (never force-dispatching) is sufficient.
   repack_full();
   arm_timer();
-  return detached;
+  return detach_scratch_;
 }
 
-std::vector<Patch> SloAwareInvoker::release_tail(std::size_t count) {
+std::vector<Patch>& SloAwareInvoker::release_tail(std::size_t count) {
   const std::size_t keep = queue_.size() - count;
-  std::vector<Patch> released;
-  released.reserve(count);
+  release_scratch_.clear();
+  release_scratch_.reserve(count);
   for (std::size_t i = keep; i < queue_.size(); ++i)
-    released.push_back(std::move(queue_[i]));
+    release_scratch_.push_back(std::move(queue_[i]));
   queue_.resize(keep);
   placements_.resize(keep);
   session_.rollback_last(count);
@@ -259,7 +311,7 @@ std::vector<Patch> SloAwareInvoker::release_tail(std::size_t count) {
   // releasing is always SLO-safe for the work it keeps.
   refresh_deadline_and_slack();
   arm_timer();
-  return released;
+  return release_scratch_;
 }
 
 std::size_t SloAwareInvoker::steal_from(SloAwareInvoker& victim,
@@ -273,16 +325,15 @@ std::size_t SloAwareInvoker::steal_from(SloAwareInvoker& victim,
   const std::size_t available = victim.queue_.size();
   if (available < 2) return 0;  // the victim always keeps one patch
 
-  std::vector<Placement> placed;
   for (std::size_t take = std::min(max_patches, available - 1); take > 0;
        --take) {
     const StitchSession::Checkpoint before = session_.checkpoint();
-    placed.clear();
+    steal_placed_.clear();
     double deadline = queue_.empty() ? std::numeric_limits<double>::infinity()
                                      : earliest_deadline_;
     for (std::size_t i = available - take; i < available; ++i) {
       const Patch& patch = victim.queue_[i];
-      placed.push_back(session_.add(patch.size()));
+      steal_placed_.push_back(session_.add(patch.size()));
       deadline = std::min(deadline, patch.deadline());
     }
     const double slack = estimator_.slack(session_.canvas_count());
@@ -293,11 +344,13 @@ std::size_t SloAwareInvoker::steal_from(SloAwareInvoker& victim,
       session_.rollback(before);
       continue;
     }
-    std::vector<Patch> moved = victim.release_tail(take);
+    // The victim's release scratch; this invoker is a different object
+    // (checked above), so admitting out of it never invalidates it.
+    std::vector<Patch>& moved = victim.release_tail(take);
     for (std::size_t j = 0; j < moved.size(); ++j) {
       stats_.steal_bytes += moved[j].bytes;
       queue_.push_back(std::move(moved[j]));
-      placements_.push_back(placed[j]);
+      placements_.push_back(steal_placed_[j]);
     }
     stats_.steals += take;
     stats_.incremental_adds += take;

@@ -28,7 +28,9 @@
 
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,8 @@
 
 namespace tangram::core {
 
+class BatchPool;
+
 struct InvokerConfig {
   common::Size canvas{1024, 1024};
   // Maximum canvases per batch admitted by the function's GPU memory
@@ -49,6 +53,16 @@ struct InvokerConfig {
   // pool/system wiring; empty = the platform's default pool).  Carried here
   // so per-shard telemetry self-describes its concurrency domain.
   std::string pool_key;
+  // Dense platform index of pool_key (serverless::FunctionPlatform::PoolId),
+  // interned once at wiring time so no dispatch-path component ever resolves
+  // the pool by string comparison; -1 = not wired to a specific pool (the
+  // platform's default pool).
+  int pool_id = -1;
+  // Recycled storage for dispatched batches (see BatchPool).  Shards of one
+  // system share a single pool so canvas capacity recirculates through the
+  // whole dispatch loop; null = the invoker creates a private pool, which
+  // keeps standalone invokers allocation-recycling without extra wiring.
+  std::shared_ptr<BatchPool> batch_pool;
   // Pool-aware capacity query (optional): additional concurrent invocations
   // the shard's capacity pool can start right now.  When set, the invoker
   // counts batches dispatched into a saturated pool
@@ -108,6 +122,43 @@ struct Batch {
   }
 };
 
+// Recycled storage for the batch lifetime loop: build_batch() checks Batch
+// shells and PackedCanvas vectors out of the freelists, the platform
+// completion hands them back via recycle(), and every vector keeps its
+// high-water capacity across the round trip.  Once the freelists have grown
+// to the workload's peak in-flight footprint, steady-state dispatch performs
+// zero heap allocations (pinned by tests/test_dispatch_alloc.cpp).  Not
+// thread-safe — one pool per simulation, like every other sim-side object.
+class BatchPool {
+ public:
+  // A cleared shell (no canvases, zeroed scalars), reusing a recycled one
+  // when available.
+  [[nodiscard]] Batch acquire();
+  // A cleared canvas (empty patches/positions, fill 0), capacity retained.
+  [[nodiscard]] PackedCanvas acquire_canvas();
+  // Return a completed batch: its canvases and the shell itself go back to
+  // the freelists.  Safe for batches that never came from this pool.
+  void recycle(Batch&& batch);
+
+  [[nodiscard]] std::size_t pooled_batches() const { return shells_.size(); }
+  [[nodiscard]] std::size_t pooled_canvases() const {
+    return canvases_.size();
+  }
+
+  // Retention caps: a saturated platform can hold thousands of backlogged
+  // batches in flight at once, and pooling ALL of that storage forever
+  // bloats the heap long after the burst drains (and drags down cache
+  // locality for everything else).  Steady-state dispatch keeps far fewer
+  // batches in flight than these bounds, so the zero-allocation property is
+  // unaffected; beyond them, recycle() lets storage free normally.
+  static constexpr std::size_t kMaxPooledShells = 128;
+  static constexpr std::size_t kMaxPooledCanvases = 512;
+
+ private:
+  std::vector<Batch> shells_;
+  std::vector<PackedCanvas> canvases_;
+};
+
 class SloAwareInvoker {
  public:
   using InvokeFn = std::function<void(Batch&&)>;
@@ -135,8 +186,10 @@ class SloAwareInvoker {
   // and the surviving patches is preserved — never an erase-from-middle per
   // patch) and repack the survivors.  Batches already invoked are untouched,
   // so no patch is ever split across shards.  Returns the removed patches in
-  // arrival order.
-  std::vector<Patch> detach_stream(int stream_id);
+  // arrival order, as a reference to the invoker's reusable compaction
+  // scratch — valid until the next detach_stream() on this invoker, so
+  // consume (or copy) it before detaching again.
+  const std::vector<Patch>& detach_stream(int stream_id);
 
   // Work stealing: tentatively admit a suffix of `victim`'s queue (up to
   // max_patches, tail only, so FIFO within the victim is preserved) via this
@@ -181,6 +234,13 @@ class SloAwareInvoker {
   [[nodiscard]] const std::string& pool_key() const {
     return config_.pool_key;
   }
+  // Interned platform index of pool_key; -1 when not wired to a named pool.
+  [[nodiscard]] int pool_id() const { return config_.pool_id; }
+  // The recycled-batch arena dispatched batches come from (and must be
+  // recycled into); shared across shards when the config wired one.
+  [[nodiscard]] const std::shared_ptr<BatchPool>& batch_pool() const {
+    return batch_pool_;
+  }
   [[nodiscard]] std::size_t saturated_dispatches() const {
     return stats_.saturated_dispatches;
   }
@@ -196,26 +256,44 @@ class SloAwareInvoker {
   void admit_resorting(Patch patch);    // sorted-ablation from-scratch path
   // Hand the last `count` queued patches (a queue suffix) to a thief:
   // un-places them via the session's O(k) tail rollback and refreshes the
-  // deadline horizon.  The caller guarantees count < queue size.
-  std::vector<Patch> release_tail(std::size_t count);
+  // deadline horizon.  The caller guarantees count < queue size.  Returns a
+  // reference to the victim's release scratch (valid until its next
+  // release_tail; the thief is a different invoker, so moving out of it
+  // while admitting is safe).
+  std::vector<Patch>& release_tail(std::size_t count);
   void repack_full();                   // rebuild session over queue_
   void refresh_deadline_and_slack();
   void arm_timer();                     // (re)schedule invocation at t_remain
   void invoke_current();                // lines 19-22
-  [[nodiscard]] Batch build_batch() const;
+  // Assemble the dispatch batch from queue_/placements_ into recycled
+  // storage (counting-sort grouping pass, exact reserves, no allocation at
+  // steady state).  Not const: checks storage out of batch_pool_.
+  [[nodiscard]] Batch build_batch();
 
   sim::Simulator& sim_;
   StitchSolver solver_;
   const LatencyEstimator& estimator_;
   InvokerConfig config_;
   InvokeFn invoke_;
+  std::shared_ptr<BatchPool> batch_pool_;  // config_.batch_pool or private
 
   std::vector<Patch> queue_;          // Q
   StitchSession session_;             // C (live canvas state)
   std::vector<Placement> placements_; // parallel to queue_
   double earliest_deadline_ = 0;      // t_DDL
   double slack_ = 0;                  // T_slack for current packing
+  double single_canvas_slack_ = 0;    // estimator_.slack(1), profiled once
   sim::EventHandle timer_;
+
+  // Reusable scratch buffers (high-water capacity, never shrunk): the
+  // dispatch/migration paths touch no fresh vectors at steady state.
+  std::vector<std::size_t> canvas_counts_;   // build_batch grouping pass
+  std::vector<common::Size> repack_sizes_;   // repack_full inputs
+  std::vector<std::size_t> repack_order_;    // repack_full pack order
+  std::vector<Patch> resort_scratch_;        // admit_resorting's C_old copy
+  std::vector<Patch> detach_scratch_;        // detach_stream output
+  std::vector<Patch> release_scratch_;       // release_tail output
+  std::vector<Placement> steal_placed_;      // steal_from tentative places
 
   InvokerStats stats_;
 };

@@ -173,14 +173,17 @@ void InvokerPool::migrate_stream(StreamId stream, int to) {
   // re-route, then attach: in-flight batches finish on the old shard, and
   // every pending patch crosses with its original arrival_time — a patch is
   // re-routed whole or not at all.
-  std::vector<Patch> pending = source.detach_stream(stream);
+  // The source shard's compaction scratch: stable until its next detach,
+  // and the target is a different shard, so attaching below cannot
+  // invalidate it.  Patch holds no heap state — the copies are free.
+  const std::vector<Patch>& pending = source.detach_stream(stream);
   source.record_migration();
   stream_shard_[idx] = to;
   --shard_streams_[static_cast<std::size_t>(from)];
   ++shard_streams_[static_cast<std::size_t>(to)];
   ++migrations_;
-  for (Patch& patch : pending)
-    shards_[static_cast<std::size_t>(to)]->attach_patch(std::move(patch));
+  for (const Patch& patch : pending)
+    shards_[static_cast<std::size_t>(to)]->attach_patch(patch);
   if (on_migrate_) on_migrate_(stream, from, to);
 }
 

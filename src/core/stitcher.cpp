@@ -191,6 +191,11 @@ std::vector<double> StitchSession::canvas_fill() const {
   return fill;
 }
 
+double StitchSession::canvas_fill(std::size_t index) const {
+  return static_cast<double>(used_area_[index]) /
+         static_cast<double>(canvas_.area());
+}
+
 Placement StitchSession::add_guillotine(common::Size item) {
   const FreeRectIndex::Placed placed = free_rects_.place(item);
   return Placement{placed.canvas_index, placed.position};
@@ -332,15 +337,25 @@ void validate(std::span<const common::Size> items, common::Size canvas) {
 
 std::vector<std::size_t> make_pack_order(std::span<const common::Size> items,
                                          bool sort_by_area_desc) {
-  std::vector<std::size_t> order(items.size());
+  std::vector<std::size_t> order;
+  make_pack_order_into(items, sort_by_area_desc, order);
+  return order;
+}
+
+void make_pack_order_into(std::span<const common::Size> items,
+                          bool sort_by_area_desc,
+                          std::vector<std::size_t>& order) {
+  order.resize(items.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   if (sort_by_area_desc) {
+    // stable_sort may still allocate its merge buffer internally; this path
+    // only runs in the sort-by-area packing ablation, never in the default
+    // zero-allocation dispatch configuration.
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
                        return items[a].area() > items[b].area();
                      });
   }
-  return order;
 }
 
 StitchResult StitchSolver::pack(std::span<const common::Size> items,

@@ -108,6 +108,9 @@ class StitchSession {
   }
   // Used-area fraction per canvas (the invoker's batch telemetry).
   [[nodiscard]] std::vector<double> canvas_fill() const;
+  // Allocation-free per-canvas variant of the above: identical value for
+  // index c as canvas_fill()[c] (the invoker's recycled-batch fill pass).
+  [[nodiscard]] double canvas_fill(std::size_t index) const;
 
  private:
   Placement add_guillotine(common::Size item);
@@ -172,6 +175,13 @@ class StitchSession {
 // invoker's sorted-ablation fallback replays the exact same order.
 [[nodiscard]] std::vector<std::size_t> make_pack_order(
     std::span<const common::Size> items, bool sort_by_area_desc);
+
+// Scratch-reusing variant: fills `order` in place (capacity retained across
+// calls) with exactly make_pack_order()'s result.  The unsorted path is
+// allocation-free once `order` has grown to its high-water size.
+void make_pack_order_into(std::span<const common::Size> items,
+                          bool sort_by_area_desc,
+                          std::vector<std::size_t>& order);
 
 class StitchSolver {
  public:

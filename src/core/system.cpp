@@ -87,6 +87,11 @@ TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
   inv.canvas = config_.canvas;
   inv.max_canvases = max_batch;
   inv.telemetry_reservoir = config_.telemetry_reservoir;
+  // One recycled-batch arena for the whole system: every shard builds its
+  // batches out of it and complete_batch() returns the storage, so canvas
+  // capacity recirculates across shards for the lifetime of the run.
+  batch_pool_ = std::make_shared<BatchPool>();
+  inv.batch_pool = batch_pool_;
   pool_ = std::make_unique<InvokerPool>(
       simulator, StitchSolver(config_.heuristic), *estimator_, inv,
       config_.sharding,
@@ -105,6 +110,9 @@ TangramSystem::TangramSystem(sim::Simulator& simulator, Config config,
         const int pool_idx = platform_->define_pool(pool);
         shard_pools_[static_cast<std::size_t>(shard)] = pool_idx;
         shard_config.pool_key = pool.name;
+        // Interned once here: no dispatch-path component resolves the pool
+        // by string key again.
+        shard_config.pool_id = pool_idx;
         shard_config.pool_headroom = [platform = platform_.get(), pool_idx] {
           return platform->pool_headroom(pool_idx);
         };
@@ -193,25 +201,50 @@ void TangramSystem::dispatch(int shard, Batch&& batch) {
 
   // Paper API 2: invoke(canvases) — one serverless call per batch, routed
   // to the shard's capacity pool (index 0 = the platform default pool).
+  // The batch is parked in a recycled in-flight slot so the completion
+  // callback captures only [this, slot]: it fits the std::function
+  // small-buffer, and the batch's vectors round-trip through batch_pool_
+  // instead of being freed — zero heap allocations per dispatch at steady
+  // state.
   serverless::RequestSpec spec;
   spec.num_canvases = batch.canvas_count();
   spec.canvas = config_.canvas;
   spec.num_items = batch.total_patches;
-  platform_->invoke(
-      spec, shard_pools_[static_cast<std::size_t>(shard)],
-      [this, batch = std::move(batch)](
-          const serverless::InvocationRecord& record) {
-        for (const auto& canvas : batch.canvases) {
-          for (const auto& patch : canvas.patches) {
-            auto& stats = streams_[static_cast<std::size_t>(patch.stream_id)];
-            ++stats.patches_completed;
-            stats.e2e_latency.add(record.finish_time - patch.generation_time);
-            if (record.finish_time > patch.deadline() + 1e-9)
-              ++stats.slo_violations;
-            if (on_result_) on_result_(patch, record);
-          }
-        }
-      });
+  const std::uint32_t slot = acquire_inflight();
+  inflight_[slot] = std::move(batch);
+  platform_->invoke(spec, shard_pools_[static_cast<std::size_t>(shard)],
+                    [this, slot](const serverless::InvocationRecord& record) {
+                      complete_batch(slot, record);
+                    });
+}
+
+std::uint32_t TangramSystem::acquire_inflight() {
+  if (inflight_free_.empty()) {
+    inflight_.emplace_back();
+    return static_cast<std::uint32_t>(inflight_.size() - 1);
+  }
+  const std::uint32_t slot = inflight_free_.back();
+  inflight_free_.pop_back();
+  return slot;
+}
+
+void TangramSystem::complete_batch(
+    std::uint32_t slot, const serverless::InvocationRecord& record) {
+  // Move the batch out and free the slot first: on_result_ may submit
+  // patches that dispatch re-entrantly and reuse it.
+  Batch batch = std::move(inflight_[slot]);
+  inflight_free_.push_back(slot);
+  for (const auto& canvas : batch.canvases) {
+    for (const auto& patch : canvas.patches) {
+      auto& stats = streams_[static_cast<std::size_t>(patch.stream_id)];
+      ++stats.patches_completed;
+      stats.e2e_latency.add(record.finish_time - patch.generation_time);
+      if (record.finish_time > patch.deadline() + 1e-9)
+        ++stats.slo_violations;
+      if (on_result_) on_result_(patch, record);
+    }
+  }
+  batch_pool_->recycle(std::move(batch));
 }
 
 }  // namespace tangram::core

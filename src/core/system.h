@@ -29,6 +29,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -186,6 +187,11 @@ class TangramSystem {
  private:
   void submit(StreamId stream, Patch patch);
   void dispatch(int shard, Batch&& batch);
+  // Platform completion for the batch parked in `slot`: per-patch telemetry
+  // + result callbacks, then the batch's storage goes back to batch_pool_.
+  void complete_batch(std::uint32_t slot,
+                      const serverless::InvocationRecord& record);
+  [[nodiscard]] std::uint32_t acquire_inflight();
 
   Config config_;
   ResultFn on_result_;
@@ -197,6 +203,13 @@ class TangramSystem {
   // Capacity-pool index per invoker shard (0 = the platform default pool),
   // filled by the shard-setup hook so dispatch skips the name lookup.
   std::vector<int> shard_pools_;
+  // Recycled batch storage shared by every shard (see core::BatchPool):
+  // dispatch parks each in-flight batch in a recycled inflight_ slot so the
+  // platform callback captures only [this, slot] — small enough for the
+  // std::function small-buffer — and completion recycles the storage.
+  std::shared_ptr<BatchPool> batch_pool_;
+  std::vector<Batch> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
   std::vector<StreamStats> streams_;
 };
 

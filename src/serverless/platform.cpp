@@ -342,16 +342,37 @@ void FunctionPlatform::start_on_instance(int instance, Pending pending,
   execution_latency_.add(exec);
   queueing_delay_.add(sim_.now() - pending.submit_time);
 
+  const std::uint32_t slot = acquire_completion();
+  completions_[slot].record = record;
+  completions_[slot].callback = std::move(pending.callback);
   sim_.schedule_at(record.finish_time,
-                   [this, record, cb = std::move(pending.callback)]() {
-                     // Free the capacity before the callback runs, so work
-                     // the callback submits sees the slot (and drain below
-                     // keeps FIFO for anything already waiting).
-                     --total_in_use_;
-                     --pools_[static_cast<std::size_t>(record.pool)].in_use;
-                     if (cb) cb(record);
-                     drain_backlog();
-                   });
+                   [this, slot] { finish_invocation(slot); });
+}
+
+std::uint32_t FunctionPlatform::acquire_completion() {
+  if (completion_free_.empty()) {
+    completions_.emplace_back();
+    return static_cast<std::uint32_t>(completions_.size() - 1);
+  }
+  const std::uint32_t slot = completion_free_.back();
+  completion_free_.pop_back();
+  return slot;
+}
+
+void FunctionPlatform::finish_invocation(std::uint32_t slot) {
+  // Copy out and release the slot first: the callback (or the drain it
+  // triggers) may invoke again and legitimately reuse this very slot.
+  const InvocationRecord record = completions_[slot].record;
+  Callback cb = std::move(completions_[slot].callback);
+  completions_[slot].callback = nullptr;
+  completion_free_.push_back(slot);
+  // Free the capacity before the callback runs, so work the callback
+  // submits sees the slot (and drain below keeps FIFO for anything already
+  // waiting).
+  --total_in_use_;
+  --pools_[static_cast<std::size_t>(record.pool)].in_use;
+  if (cb) cb(record);
+  drain_backlog();
 }
 
 void FunctionPlatform::maybe_arm_autoscaler() {

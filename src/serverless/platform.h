@@ -226,6 +226,11 @@ struct InvocationRecord {
 class FunctionPlatform {
  public:
   using Callback = std::function<void(const InvocationRecord&)>;
+  // Dense index of a capacity pool, interned once at wiring time via
+  // define_pool()/pool_index().  Every hot-path entry point (invoke by
+  // index, pool_headroom, the autoscaler, completion accounting) works on
+  // PoolIds — the string key exists only for wiring and telemetry.
+  using PoolId = int;
 
   static constexpr const char* kDefaultPool = "default";
 
@@ -328,6 +333,16 @@ class FunctionPlatform {
     std::vector<AutoscaleSample> series;
   };
 
+  // In-flight invocation state parked until the completion event fires.
+  // Slots are recycled through completion_free_, so the completion event
+  // only captures [this, slot] — small and trivially copyable, it stays
+  // inside the simulator's InlineTask buffer: no per-completion heap
+  // allocation, regardless of how large the caller's Callback is.
+  struct Completion {
+    InvocationRecord record;
+    Callback callback;
+  };
+
   void invoke_on_pool(const RequestSpec& spec, int pool, Callback on_complete);
   // True if a request for `pool` could start immediately.  Ignores the
   // backlog: callers must keep FIFO by checking pool.backlogged first.
@@ -339,6 +354,13 @@ class FunctionPlatform {
   // Start `pending` now; requires pool_has_capacity(pending.pool).
   void dispatch(Pending pending);
   void start_on_instance(int instance, Pending pending, bool cold);
+  // Check a Completion slot out of the freelist (growing only past the
+  // concurrency high-water mark).
+  [[nodiscard]] std::uint32_t acquire_completion();
+  // The completion event: free capacity and the slot, run the callback,
+  // drain the backlog.  The slot is released before the callback so
+  // re-entrant invokes reuse it.
+  void finish_invocation(std::uint32_t slot);
   // Dispatch backlogged requests, strictly FIFO within each pool; a pool
   // without capacity never blocks another pool's entries.
   void drain_backlog();
@@ -356,6 +378,8 @@ class FunctionPlatform {
   std::vector<Pool> pools_;  // pools_[0] is the default pool
   std::deque<Pending> backlog_;
   std::vector<char> drain_scratch_;  // per-pool blocked flags during drain
+  std::vector<Completion> completions_;        // slot pool (see Completion)
+  std::vector<std::uint32_t> completion_free_;
   sim::EventHandle autoscale_timer_;
   int round_robin_ = 0;
   int total_in_use_ = 0;
