@@ -57,6 +57,7 @@
 
 #include "common/table.h"
 #include "experiments/harness.h"
+#include "serverless/forecast.h"
 
 namespace {
 
@@ -144,6 +145,25 @@ struct RebalancePoint {
   std::uint64_t ticks = 0;
 };
 
+// One cell of the Part 5 predictive-provisioning study: an autoscale policy
+// (reactive or forecast-driven, with or without pre-warming) against one
+// arrival shape of the mixed-SLO fleet.
+struct ForecastPoint {
+  std::string policy;  // "static" | "queue-pressure" | "<forecaster>+prewarm"
+  std::string trace;   // "steady" | "step"
+  std::size_t invocations = 0;
+  std::size_t tight_done = 0, tight_miss = 0;
+  std::size_t loose_done = 0, loose_miss = 0;
+  double cost_usd = 0.0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t prewarm_boots = 0;
+  double prewarm_cost = 0.0;
+  std::uint64_t autoscale_samples = 0;
+  std::size_t horizon = 1;
+  bool forecast_active = false;
+  std::vector<serverless::PoolTelemetry> pools;
+};
+
 // Allocation profile of one serial dispatch-heavy cell (--json
 // "dispatch_path"): total operator-new calls per completed patch, the
 // cross-PR regression number for the zero-allocation dispatch pipeline.
@@ -163,6 +183,7 @@ double backlog_quantile(const common::Sampler& depth, double q) {
 void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
                 const std::vector<FleetPoint>& fleet,
                 const std::vector<RebalancePoint>& rebalance,
+                const std::vector<ForecastPoint>& forecast,
                 const DispatchPathPoint& dispatch) {
   std::ofstream out(path);
   if (!out) {
@@ -230,6 +251,34 @@ void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
         << ", \"steal_bytes\": " << r.steal_bytes
         << ", \"ticks\": " << r.ticks << "}"
         << (i + 1 < rebalance.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"forecast\": [\n";
+  for (std::size_t i = 0; i < forecast.size(); ++i) {
+    const ForecastPoint& f = forecast[i];
+    out << "    {\"policy\": \"" << f.policy << "\", \"trace\": \"" << f.trace
+        << "\", \"invocations\": " << f.invocations
+        << ", \"tight_done\": " << f.tight_done
+        << ", \"tight_miss\": " << f.tight_miss
+        << ", \"loose_done\": " << f.loose_done
+        << ", \"loose_miss\": " << f.loose_miss
+        << ", \"cost_usd\": " << f.cost_usd
+        << ", \"cold_starts\": " << f.cold_starts
+        << ", \"prewarm_boots\": " << f.prewarm_boots
+        << ", \"prewarm_cost\": " << f.prewarm_cost
+        << ", \"autoscale_samples\": " << f.autoscale_samples
+        << ", \"horizon\": " << f.horizon << ", \"pools\": [";
+    for (std::size_t p = 0; p < f.pools.size(); ++p) {
+      const serverless::PoolTelemetry& pool = f.pools[p];
+      const auto acc = serverless::forecast::accuracy(
+          pool.demand_history, pool.forecast_history, f.horizon);
+      out << (p ? ", " : "") << "{\"name\": \"" << pool.name
+          << "\", \"samples\": " << pool.demand_history.size()
+          << ", \"prewarm_boots\": " << pool.prewarm_boots
+          << ", \"prewarm_cost\": " << pool.prewarm_cost
+          << ", \"mae\": " << acc.mae << ", \"rmse\": " << acc.rmse
+          << ", \"bias\": " << acc.bias << "}";
+    }
+    out << "]}" << (i + 1 < forecast.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"dispatch_path\": {\"streams\": " << dispatch.streams
       << ", \"patches\": " << dispatch.patches
@@ -669,8 +718,168 @@ int main(int argc, char** argv) {
                     : "")
             << "\n";
 
+  // --- Part 5: predictive provisioning — forecast + pre-warm axis ----------
+  // The Part 2/3 reserved-pool fleet under forecast-driven AutoscalePolicy
+  // variants, on two arrival shapes: "steady" (every stream from t=0 — the
+  // comparable Part 2/3 scenario) and "step" (wave -> valley -> wave via
+  // per_stream_start_s with a short keepalive, so the fleet cools in the
+  // valley and only a pre-warming policy can pay cold-start setup before the
+  // second wave lands).  Forecast accuracy (MAE/RMSE/bias at the policy's
+  // horizon) comes from the per-pool demand/forecast series.
+  std::cout << "\n=== Predictive provisioning: forecast + pre-warm over the "
+               "reserved-pool fleet ===\n";
+  const struct {
+    const char* name;
+    serverless::AutoscalePolicy policy;
+  } forecast_policies[] = {
+      {"static", serverless::AutoscalePolicy::static_policy()},
+      {"queue-pressure", serverless::AutoscalePolicy::queue_pressure(2, 0.5, 1)},
+      {"ewma+prewarm",
+       [] {
+         auto p = serverless::AutoscalePolicy::ewma(0.5, 1, 0.5, 0);
+         p.prewarm = true;
+         return p;
+       }()},
+      {"holt-winters+prewarm",
+       [] {
+         auto p =
+             serverless::AutoscalePolicy::holt_winters(0.5, 0.1, 0.1, 8, 0.5, 0);
+         p.prewarm = true;
+         return p;
+       }()},
+      {"windowed-max+prewarm",
+       [] {
+         auto p = serverless::AutoscalePolicy::windowed_max(24, 0.5, 0);
+         p.prewarm = true;
+         return p;
+       }()},
+  };
+  // The step shape: the first half of the fleet runs the whole trace from
+  // t=0; the second half arrives together after the first wave has drained
+  // (a valley long enough for a 4 s keepalive to cool every instance).
+  std::vector<double> step_starts(kFleet, trace_duration_s + 6.0);
+  for (std::size_t i = 0; i < kFleet / 2; ++i) step_starts[i] = 0.0;
+  const struct {
+    const char* name;
+    std::vector<double> starts;
+    double keepalive_s;
+  } forecast_traces[] = {
+      {"steady", {}, fleet_config.platform.keepalive_s},
+      {"step", step_starts, 4.0},
+  };
+
+  std::vector<experiments::MultiStreamCell> forecast_cells;
+  for (const auto& trace_leg : forecast_traces) {
+    for (const auto& entry : forecast_policies) {
+      experiments::MultiStreamCell cell;
+      cell.cameras = fleet;
+      cell.config = fleet_config;
+      cell.config.sharding = core::ShardPolicy::per_slo_class();
+      cell.config.platform.autoscale = entry.policy;
+      cell.config.per_stream_start_s = trace_leg.starts;
+      cell.config.platform.keepalive_s = trace_leg.keepalive_s;
+      // Same reserve/cap bands as Part 2/3, plus forecast headroom on the
+      // tight pool only: the tight limit pads above the point forecast
+      // (record-breaking bursts would otherwise eat a throttle once each),
+      // while the loose pool stays exactly at its forecast so its backlog
+      // cannot crowd the fleet during wave transitions.
+      cell.config.pool_for_shard = experiments::reserved_tight_pool_plan(
+          0.5, kTightReserved, kFleetInstances - kTightReserved,
+          /*tight_forecast_headroom=*/4);
+      forecast_cells.push_back(std::move(cell));
+    }
+  }
+  const auto forecast_outcomes =
+      experiments::run_multistream_cells(forecast_cells, jobs);
+
+  std::vector<ForecastPoint> forecast_points;
+  common::Table forecast_table({"Trace", "Policy", "Tight misses",
+                                "Loose misses", "Cold starts", "Prewarm boots",
+                                "Prewarm ($)", "MAE", "Cost ($)"});
+  constexpr std::size_t kForecastPolicies = std::size(forecast_policies);
+  for (std::size_t i = 0; i < forecast_outcomes.size(); ++i) {
+    const experiments::MultiStreamResult& r = forecast_outcomes[i].result;
+    const auto& trace_leg = forecast_traces[i / kForecastPolicies];
+    const auto& policy_entry = forecast_policies[i % kForecastPolicies];
+    ForecastPoint point;
+    point.policy = policy_entry.name;
+    point.trace = trace_leg.name;
+    point.invocations = r.invocations;
+    std::tie(point.tight_done, point.tight_miss) =
+        r.class_completions_misses(kTightSlo);
+    std::tie(point.loose_done, point.loose_miss) =
+        r.class_completions_misses(kLooseSlo);
+    point.cost_usd = r.total_cost;
+    point.cold_starts = r.cold_starts;
+    point.prewarm_boots = r.prewarm_boots;
+    point.prewarm_cost = r.prewarm_cost;
+    point.autoscale_samples = r.autoscale_samples;
+    point.horizon = r.forecast_horizon;
+    point.forecast_active = r.forecast_active;
+    point.pools = r.pools;
+
+    // Fleet-level forecast error: sample-weighted MAE across the pools.
+    double abs_err_sum = 0.0;
+    std::size_t err_samples = 0;
+    for (const auto& pool : point.pools) {
+      const auto acc = serverless::forecast::accuracy(
+          pool.demand_history, pool.forecast_history, point.horizon);
+      abs_err_sum += acc.mae * static_cast<double>(acc.samples);
+      err_samples += acc.samples;
+    }
+    forecast_table.add_row(
+        {point.trace, point.policy,
+         std::to_string(point.tight_miss) + "/" +
+             std::to_string(point.tight_done),
+         std::to_string(point.loose_miss) + "/" +
+             std::to_string(point.loose_done),
+         std::to_string(point.cold_starts),
+         std::to_string(point.prewarm_boots),
+         common::Table::num(point.prewarm_cost, 6),
+         point.forecast_active
+             ? common::Table::num(
+                   err_samples ? abs_err_sum /
+                                     static_cast<double>(err_samples)
+                               : 0.0,
+                   3)
+             : "n/a",
+         common::Table::num(point.cost_usd, 4)});
+    forecast_points.push_back(std::move(point));
+  }
+  forecast_table.print();
+
+  // Headline: on each trace, the best forecast+pre-warm policy (fewest tight
+  // misses, cost as tiebreak) against the static-reserved baseline and the
+  // reactive queue-pressure cost bar.
+  for (std::size_t leg = 0; leg < forecast_outcomes.size() / kForecastPolicies;
+       ++leg) {
+    const std::size_t base = leg * kForecastPolicies;
+    const ForecastPoint& static_pt = forecast_points[base];
+    const ForecastPoint& reactive_pt = forecast_points[base + 1];
+    const ForecastPoint* best = &forecast_points[base + 2];
+    for (std::size_t p = 3; p < kForecastPolicies; ++p) {
+      const ForecastPoint& cand = forecast_points[base + p];
+      if (cand.tight_miss < best->tight_miss ||
+          (cand.tight_miss == best->tight_miss &&
+           cand.cost_usd < best->cost_usd))
+        best = &cand;
+    }
+    std::cout << static_pt.trace << " trace: tight misses "
+              << static_pt.tight_miss << " (static) / "
+              << reactive_pt.tight_miss << " (queue-pressure) -> "
+              << best->tight_miss << " (" << best->policy << "), cost $"
+              << common::Table::num(best->cost_usd, 4) << " vs $"
+              << common::Table::num(reactive_pt.cost_usd, 4)
+              << " (queue-pressure)"
+              << (best->tight_miss <= static_pt.tight_miss &&
+                          best->cost_usd <= reactive_pt.cost_usd + 1e-9
+                      ? "  [forecast holds]"
+                      : "")
+              << "\n";
+  }
+
   if (!json_path.empty())
     write_json(json_path, sweep, fleet_points, rebalance_points,
-               dispatch_point);
+               forecast_points, dispatch_point);
   return 0;
 }

@@ -183,6 +183,15 @@ class TangramSystem {
     return *estimator_;
   }
   [[nodiscard]] double total_cost() const { return platform_->total_cost(); }
+  // Predictive-provisioning telemetry, summed across every capacity pool
+  // (Config::platform.autoscale selects the forecast policy; see
+  // serverless/forecast.h).  total_cost() already includes prewarm_cost().
+  [[nodiscard]] std::uint64_t prewarm_boots() const {
+    return platform_->prewarm_boots();
+  }
+  [[nodiscard]] double prewarm_cost() const {
+    return platform_->prewarm_cost();
+  }
 
  private:
   void submit(StreamId stream, Patch patch);

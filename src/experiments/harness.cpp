@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "net/link.h"
+#include "serverless/forecast.h"
 #include "sim/simulator.h"
 
 namespace tangram::experiments {
@@ -300,6 +301,14 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   // events execute in that order and schedule frame i+1 in the same order),
   // so the simulation is byte-identical — regression-tested against the
   // upfront baselines in tests/test_parallel_runner.cpp.
+  // Scripted load shapes (step / ramp) delay whole streams; start 0.0 adds
+  // an exact 0.0 to every capture time, so the default is byte-identical to
+  // the un-staged schedule.
+  const auto stream_start = [&config](std::size_t cam) {
+    return cam < config.per_stream_start_s.size()
+               ? config.per_stream_start_s[cam]
+               : 0.0;
+  };
   std::function<void(std::size_t, std::size_t)> emit_frame =
       [&](std::size_t cam, std::size_t i) {
         const SceneTrace& trace = *cameras[cam];
@@ -309,7 +318,8 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
                 ? frame_interval * static_cast<double>(cam) /
                       static_cast<double>(cameras.size())
                 : 0.0;
-        const double capture = phase + static_cast<double>(i) * frame_interval;
+        const double capture = stream_start(cam) + phase +
+                               static_cast<double>(i) * frame_interval;
         const FrameRecord& frame = trace.eval_frame(i);
         for (std::size_t p = 0; p < frame.patches.size(); ++p) {
           core::Patch patch;
@@ -328,8 +338,9 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
           });
         }
         if (i + 1 < trace.eval_frame_count()) {
-          const double next_capture =
-              phase + static_cast<double>(i + 1) * frame_interval;
+          const double next_capture = stream_start(cam) + phase +
+                                      static_cast<double>(i + 1) *
+                                          frame_interval;
           sim.schedule_at(next_capture + config.edge_latency_s,
                           [&emit_frame, cam, i] { emit_frame(cam, i + 1); });
         }
@@ -343,7 +354,7 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
             ? frame_interval * static_cast<double>(cam) /
                   static_cast<double>(cameras.size())
             : 0.0;
-    sim.schedule_at(phase + config.edge_latency_s,
+    sim.schedule_at(stream_start(cam) + phase + config.edge_latency_s,
                     [&emit_frame, cam] { emit_frame(cam, 0); });
   }
 
@@ -383,17 +394,29 @@ MultiStreamResult run_multistream(const std::vector<const SceneTrace*>& cameras,
   result.cold_starts = system.platform().cold_starts();
   result.cold_start_setup = system.platform().cold_start_setup();
   result.fleet_size = system.platform().fleet_size();
+  // Predictive-provisioning roll-up: sums over EVERY pool (the per-pool
+  // telemetry above keeps the series), matching the facade accessors.
+  const serverless::AutoscalePolicy& autoscale = config.platform.autoscale;
+  result.forecast_active = autoscale.forecasting() && !autoscale.shadow;
+  result.forecast_horizon = autoscale.horizon;
+  for (const serverless::PoolTelemetry& pool : result.pools)
+    result.autoscale_samples += pool.series.size();
+  result.prewarm_boots = system.prewarm_boots();
+  result.prewarm_cost = system.prewarm_cost();
   return result;
 }
 
 core::TangramSystem::PoolAssignFn reserved_tight_pool_plan(
-    double tight_slo_threshold, int tight_reserved, int loose_burst_limit) {
-  return [tight_slo_threshold, tight_reserved, loose_burst_limit](
-             const std::string&, const core::StreamConfig& stream) {
+    double tight_slo_threshold, int tight_reserved, int loose_burst_limit,
+    int tight_forecast_headroom) {
+  return [tight_slo_threshold, tight_reserved, loose_burst_limit,
+          tight_forecast_headroom](const std::string&,
+                                   const core::StreamConfig& stream) {
     serverless::CapacityPoolConfig pool;
     if (stream.slo_s > 0.0 && stream.slo_s <= tight_slo_threshold) {
       pool.name = "tight";
       pool.reserved = tight_reserved;
+      pool.forecast_headroom = tight_forecast_headroom;
     } else {
       pool.name = "loose";
       pool.burst_limit = loose_burst_limit > 0 ? loose_burst_limit : -1;
@@ -555,6 +578,33 @@ std::string deterministic_json(const MultiStreamResult& result) {
     out += '}';
   }
   out += ']';
+  // Forecast-driven provisioning block: emitted only when an actuating
+  // forecast policy drove the run (shadow/observe-only runs included would
+  // break their byte-identity with kStatic) — same gating pattern as the
+  // rebalance block below.
+  if (result.forecast_active) {
+    out += ",\"forecast\":{\"horizon\":" +
+           std::to_string(result.forecast_horizon);
+    out += ",\"autoscale_samples\":" +
+           std::to_string(result.autoscale_samples);
+    out += ",\"prewarm_boots\":" + std::to_string(result.prewarm_boots);
+    out += ",\"prewarm_cost\":" + fmt(result.prewarm_cost);
+    out += ",\"pools\":[";
+    for (std::size_t i = 0; i < result.pools.size(); ++i) {
+      const serverless::PoolTelemetry& p = result.pools[i];
+      const serverless::forecast::Accuracy acc = serverless::forecast::accuracy(
+          p.demand_history, p.forecast_history, result.forecast_horizon);
+      if (i) out += ',';
+      out += "{\"name\":\"" + p.name + "\"";
+      out += ",\"samples\":" + std::to_string(p.demand_history.size());
+      out += ",\"prewarm_boots\":" + std::to_string(p.prewarm_boots);
+      out += ",\"prewarm_cost\":" + fmt(p.prewarm_cost);
+      out += ",\"mae\":" + fmt(acc.mae);
+      out += ",\"rmse\":" + fmt(acc.rmse);
+      out += ",\"bias\":" + fmt(acc.bias) + '}';
+    }
+    out += "]}";
+  }
   // The adaptive-layer block exists only for runs that used it (an active
   // RebalancePolicy or the drifting-class-mix workload): every legacy
   // configuration keeps producing the exact pre-rebalancing byte stream —

@@ -122,6 +122,12 @@ struct MultiStreamConfig {
   bool stagger_cameras = true;   // offset camera phases
   // Override the SLO class of stream i; streams beyond the vector use slo_s.
   std::vector<double> per_stream_slo;
+  // Delay stream i's first frame by this many seconds (streams beyond the
+  // vector start at 0).  Scripted step-load / ramp scenarios for the
+  // provisioning study reuse ONE trace with staged starts instead of
+  // building extra traces; an empty vector (or 0 entries) adds an exact
+  // 0.0 to every capture time, so the default stays byte-identical.
+  std::vector<double> per_stream_start_s;
   // Invoker-pool layout (default: one shard per SLO class).
   // core::ShardPolicy::single() reproduces the pre-pool single-invoker runs
   // byte-for-byte.
@@ -163,9 +169,14 @@ struct MultiStreamConfig {
 // Ready-made capacity plan for mixed-SLO fleets: shards whose SLO class is
 // <= tight_slo_threshold share a "tight" pool with `tight_reserved`
 // guaranteed instances; every other shard shares a "loose" pool capped at
-// `loose_burst_limit` concurrent instances (<= 0: uncapped).
+// `loose_burst_limit` concurrent instances (<= 0: uncapped).  Under a
+// forecast-driven autoscaler, `tight_forecast_headroom` spare slots pad the
+// tight pool's actuated limit above the point forecast (-1: inherit
+// AutoscalePolicy::headroom); the loose pool always inherits, so its
+// backlog keeps getting throttled to observed demand.
 [[nodiscard]] core::TangramSystem::PoolAssignFn reserved_tight_pool_plan(
-    double tight_slo_threshold, int tight_reserved, int loose_burst_limit);
+    double tight_slo_threshold, int tight_reserved, int loose_burst_limit,
+    int tight_forecast_headroom = -1);
 
 struct MultiStreamResult {
   std::vector<core::StreamStats> streams;  // per-stream telemetry
@@ -194,6 +205,15 @@ struct MultiStreamResult {
   // Batches dispatched into a saturated capacity pool, summed across EVERY
   // shard (InvokerPool::aggregate_stats — never a shard-0-only number).
   std::size_t saturated_dispatches = 0;
+
+  // --- predictive-provisioning telemetry -------------------------------------
+  // Summed across EVERY capacity pool (never pool-0-only); per-pool series
+  // (demand/forecast histories) stay on `pools`.
+  bool forecast_active = false;  // an actuating forecast policy drove limits
+  std::size_t forecast_horizon = 1;     // the policy's horizon, in ticks
+  std::uint64_t autoscale_samples = 0;  // AutoscaleSample entries, all pools
+  std::uint64_t prewarm_boots = 0;
+  double prewarm_cost = 0.0;  // already included in total_cost
 
   // --- adaptive-rebalancing telemetry ----------------------------------------
   struct RebalanceTelemetry {

@@ -1,0 +1,70 @@
+// Demand forecasters for predictive provisioning — pure functions over a
+// demand history, separately testable from the platform that feeds them.
+//
+// Each estimator consumes the per-pool demand series the autoscaler records
+// (one observation per tick) and predicts demand `horizon` ticks ahead:
+//
+//  * ewma            — exponentially weighted moving average; the flat
+//                      forecast of a level-only series.  Reacts in O(1/alpha)
+//                      ticks, never anticipates trends.
+//  * holt_winters    — additive Holt-Winters (level + trend + seasonal).
+//                      Built for the diurnal/rush-hour traces: once it has
+//                      seen two full periods it projects the NEXT wave, not
+//                      just the current one.  Falls back to Holt's linear
+//                      (level + trend) method while the series is shorter
+//                      than two periods.
+//  * windowed_max    — max over the trailing window; the conservative
+//                      "provision for the recent peak" rule.  Never
+//                      under-provisions relative to the window, never reacts
+//                      to transient dips.
+//
+// Conventions shared by all three: an empty series forecasts 0 (a pool that
+// has never seen demand needs nothing); non-finite observations (NaN/inf)
+// are skipped rather than poisoning the recurrences; forecasts are clamped
+// to >= 0 (negative demand is meaningless); evaluation is deterministic and
+// side-effect free.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tangram::serverless::forecast {
+
+// EWMA level of the series (alpha in (0, 1]; alpha = 1 tracks the last
+// observation exactly).  The EWMA forecast is flat: the same level is the
+// prediction at every horizon.
+[[nodiscard]] double ewma(std::span<const double> series, double alpha);
+
+// Additive Holt-Winters forecast `horizon` steps past the end of `series`,
+// with seasonal period `period` (in ticks).  Requires alpha in (0, 1],
+// beta/gamma in [0, 1], period >= 1, horizon >= 1.  With fewer than two
+// full periods observed, falls back to Holt's linear method (level +
+// trend, no seasonal term).
+[[nodiscard]] double holt_winters(std::span<const double> series,
+                                  double alpha, double beta, double gamma,
+                                  std::size_t period, std::size_t horizon);
+
+// Maximum over the trailing `window` observations (window >= 1).
+[[nodiscard]] double windowed_max(std::span<const double> series,
+                                  std::size_t window);
+
+// --- forecast-accuracy harness -----------------------------------------------
+//
+// Scores a forecast series against the demand that actually materialised:
+// forecasts[t] was the prediction for demand[t + horizon], so each pair
+// (forecasts[t], demand[t + horizon]) contributes one error sample.
+
+struct Accuracy {
+  std::size_t samples = 0;
+  double mae = 0.0;   // mean |error|
+  double rmse = 0.0;  // sqrt(mean error^2)
+  double bias = 0.0;  // mean (forecast - actual); > 0 = over-provisioning
+};
+
+[[nodiscard]] Accuracy accuracy(std::span<const double> demand,
+                                std::span<const double> forecasts,
+                                std::size_t horizon);
+
+}  // namespace tangram::serverless::forecast

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "serverless/forecast.h"
+
 namespace tangram::serverless {
 
 namespace {
@@ -28,6 +30,9 @@ CapacityPoolConfig resolve_pool(const CapacityPoolConfig& pool,
   if (resolved.reserved > resolved.burst_limit)
     throw std::invalid_argument("CapacityPool '" + pool.name +
                                 "': reserved exceeds burst_limit");
+  if (resolved.forecast_headroom < -1)
+    throw std::invalid_argument("CapacityPool '" + pool.name +
+                                "': forecast_headroom must be >= -1");
   return resolved;
 }
 
@@ -52,6 +57,29 @@ FunctionPlatform::FunctionPlatform(sim::Simulator& simulator,
         "FunctionPlatform: autoscale interval_s must be > 0");
   if (config_.autoscale.step < 1)
     throw std::invalid_argument("FunctionPlatform: autoscale step must be >=1");
+  const AutoscalePolicy& scale = config_.autoscale;
+  if (scale.forecasting()) {
+    if (!(scale.alpha > 0.0) || scale.alpha > 1.0)
+      throw std::invalid_argument(
+          "FunctionPlatform: autoscale alpha must be in (0, 1]");
+    if (scale.beta < 0.0 || scale.beta > 1.0 || scale.gamma < 0.0 ||
+        scale.gamma > 1.0)
+      throw std::invalid_argument(
+          "FunctionPlatform: autoscale beta/gamma must be in [0, 1]");
+    if (scale.period < 1 || scale.horizon < 1 || scale.window < 1)
+      throw std::invalid_argument(
+          "FunctionPlatform: autoscale period/horizon/window must be >= 1");
+    if (scale.headroom < 0)
+      throw std::invalid_argument(
+          "FunctionPlatform: autoscale headroom must be >= 0");
+  } else if (scale.prewarm || scale.shadow) {
+    throw std::invalid_argument(
+        "FunctionPlatform: prewarm/shadow require a forecast-driven "
+        "autoscale policy");
+  }
+  if (scale.prewarm && scale.shadow)
+    throw std::invalid_argument(
+        "FunctionPlatform: prewarm and shadow are mutually exclusive");
   // The default pool always exists and spans the whole fleet, so an
   // un-pooled platform behaves exactly as before pools existed.
   (void)define_pool({kDefaultPool, 0, config_.max_instances});
@@ -84,6 +112,9 @@ int FunctionPlatform::define_pool(const CapacityPoolConfig& config) {
   pool.name = resolved.name;
   pool.reserved = resolved.reserved;
   pool.burst_limit = resolved.burst_limit;
+  pool.headroom = resolved.forecast_headroom >= 0
+                      ? resolved.forecast_headroom
+                      : config_.autoscale.headroom;
   pool.backlog_depth = common::Sampler(config_.telemetry_reservoir);
   const int floor_limit = std::max(1, pool.reserved);
   pool.limit = config_.autoscale.initial_limit == 0
@@ -138,7 +169,23 @@ PoolTelemetry FunctionPlatform::pool_telemetry(int pool) const {
   t.backlogged = p.backlogged;
   t.backlog_depth = p.backlog_depth;
   t.series = p.series;
+  t.demand_history = p.demand_history;
+  t.forecast_history = p.forecast_history;
+  t.prewarm_boots = p.prewarm_boots;
+  t.prewarm_cost = p.prewarm_cost;
   return t;
+}
+
+std::uint64_t FunctionPlatform::prewarm_boots() const {
+  std::uint64_t total = 0;
+  for (const Pool& pool : pools_) total += pool.prewarm_boots;
+  return total;
+}
+
+double FunctionPlatform::prewarm_cost() const {
+  double total = 0.0;
+  for (const Pool& pool : pools_) total += pool.prewarm_cost;
+  return total;
 }
 
 std::vector<PoolTelemetry> FunctionPlatform::pool_telemetry() const {
@@ -204,6 +251,16 @@ void FunctionPlatform::invoke_on_pool(const RequestSpec& spec, int pool,
   if (spec.num_canvases <= 0 && spec.image_megapixels <= 0.0)
     throw std::invalid_argument("FunctionPlatform::invoke: empty request");
 
+  if (config_.autoscale.shadow) {
+    // Catch up the observe-only series before this arrival mutates state;
+    // the first arrival arms the boundary clock (mirroring how the real
+    // timer is first armed from invoke()).
+    shadow_observe();
+    if (!shadow_armed_) {
+      shadow_armed_ = true;
+      shadow_next_ = sim_.now() + config_.autoscale.interval_s;
+    }
+  }
   maybe_arm_autoscaler();
   Pending pending{spec, std::move(on_complete), sim_.now(), pool};
   Pool& p = pools_[static_cast<std::size_t>(pool)];
@@ -215,9 +272,18 @@ void FunctionPlatform::invoke_on_pool(const RequestSpec& spec, int pool,
     ++p.backlogged;
     p.backlog_depth.add(static_cast<double>(p.backlogged));
     backlog_.push_back(std::move(pending));
+    note_demand_peak(p);
     return;
   }
   dispatch(std::move(pending));
+  note_demand_peak(p);
+}
+
+void FunctionPlatform::note_demand_peak(Pool& pool) {
+  if (!config_.autoscale.forecasting()) return;
+  const double demand = static_cast<double>(pool.in_use - pool.prewarming) +
+                        static_cast<double>(pool.backlogged);
+  pool.demand_peak = std::max(pool.demand_peak, demand);
 }
 
 int FunctionPlatform::find_cooled_slot() const {
@@ -360,6 +426,7 @@ std::uint32_t FunctionPlatform::acquire_completion() {
 }
 
 void FunctionPlatform::finish_invocation(std::uint32_t slot) {
+  if (config_.autoscale.shadow) shadow_observe();
   // Copy out and release the slot first: the callback (or the drain it
   // triggers) may invoke again and legitimately reuse this very slot.
   const InvocationRecord record = completions_[slot].record;
@@ -377,6 +444,9 @@ void FunctionPlatform::finish_invocation(std::uint32_t slot) {
 
 void FunctionPlatform::maybe_arm_autoscaler() {
   if (config_.autoscale.kind == AutoscalePolicy::Kind::kStatic) return;
+  // Shadow mode schedules nothing: the observe-only series are recorded
+  // lazily by shadow_observe(), so the event stream matches kStatic.
+  if (config_.autoscale.shadow) return;
   if (autoscale_timer_.pending()) return;
   autoscale_timer_ =
       sim_.schedule_in(config_.autoscale.interval_s, [this] {
@@ -410,14 +480,158 @@ int FunctionPlatform::autoscale_decision(const Pool& pool) const {
       }
       break;
     }
+    case AutoscalePolicy::Kind::kEwma:
+    case AutoscalePolicy::Kind::kHoltWinters:
+    case AutoscalePolicy::Kind::kWindowedMax:
+      // Forecast kinds are decided in autoscale_tick() from the value
+      // observe_and_forecast() just recorded.
+      return limit;
   }
   return std::clamp(limit, floor_limit, pool.burst_limit);
 }
 
+double FunctionPlatform::observe_and_forecast(Pool& pool) {
+  const AutoscalePolicy& policy = config_.autoscale;
+  // Demand = instances serving this pool + requests waiting on it, taken as
+  // the high-watermark since the previous observation: bursts shorter than
+  // the observation interval are the exact thing pre-warming exists for,
+  // and an instant sample at the boundary would miss them entirely.
+  // Pre-warming instances are excluded: they are supply provisioned against
+  // the forecast, and counting them as demand would feed the forecast back
+  // into itself.
+  const double now_demand =
+      static_cast<double>(pool.in_use - pool.prewarming) +
+      static_cast<double>(pool.backlogged);
+  const double demand = std::max(pool.demand_peak, now_demand);
+  pool.demand_peak = now_demand;  // the level carries into the next span
+  pool.demand_history.push_back(demand);
+  double predicted = 0.0;
+  switch (policy.kind) {
+    case AutoscalePolicy::Kind::kEwma:
+      predicted = forecast::ewma(pool.demand_history, policy.alpha);
+      break;
+    case AutoscalePolicy::Kind::kHoltWinters:
+      predicted =
+          forecast::holt_winters(pool.demand_history, policy.alpha,
+                                 policy.beta, policy.gamma, policy.period,
+                                 policy.horizon);
+      break;
+    case AutoscalePolicy::Kind::kWindowedMax:
+      predicted = forecast::windowed_max(pool.demand_history, policy.window);
+      break;
+    case AutoscalePolicy::Kind::kStatic:
+    case AutoscalePolicy::Kind::kTargetUtilization:
+    case AutoscalePolicy::Kind::kQueuePressure:
+      break;  // non-forecast kinds never reach here
+  }
+  pool.forecast_history.push_back(predicted);
+  return predicted;
+}
+
+void FunctionPlatform::prewarm_pools() {
+  // Warm capacity is fungible across pools, so only pre-warm what idle-warm
+  // instances cannot already cover.
+  int idle_warm = 0;
+  for (const Instance& inst : instances_)
+    if (inst.started && inst.busy_until <= sim_.now() &&
+        inst.warm_until > sim_.now())
+      ++idle_warm;
+  // Pre-warming re-warms COOLED capacity only — it never grows the fleet.
+  // Speculatively booting brand-new instances would bill provisioned time on
+  // workloads a reactive policy serves with on-demand cold starts, so a
+  // forecaster could not meet "cost no higher than reactive"; re-warming
+  // slots the keepalive already cooled pays the same setup the next wave
+  // would have paid anyway, just before the arrivals instead of under them.
+  int bootable = std::max(0, config_.max_instances - total_in_use_ - idle_warm);
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    Pool& pool = pools_[i];
+    if (pool.forecast_history.empty()) continue;
+    const int target =
+        std::min(static_cast<int>(std::ceil(pool.forecast_history.back() -
+                                            1e-9)),
+                 pool.limit);
+    int shortfall = target - pool.in_use;
+    const int claimed = std::min(idle_warm, std::max(0, shortfall));
+    idle_warm -= claimed;
+    shortfall -= claimed;
+    while (shortfall > 0 && bootable > 0 &&
+           pool_headroom(static_cast<int>(i)) > 0) {
+      const int slot = find_cooled_slot();
+      if (slot < 0) break;  // no cooled capacity to re-warm
+      Instance& inst = instances_[static_cast<std::size_t>(slot)];
+      // Deterministic setup: pre-warm boots draw no fault RNG (no
+      // cold-spike), so enabling pre-warm never perturbs the fault stream
+      // of the real invocations.
+      const double setup = config_.cold_start_s;
+      inst.started = true;
+      inst.busy_until = sim_.now() + setup;
+      inst.warm_until = inst.busy_until + config_.keepalive_s;
+      // A pre-warming instance occupies its pool's concurrency until the
+      // boot completes — exactly like a dispatched request — so the
+      // headroom/dispatch invariants hold throughout the warm-up.
+      ++total_in_use_;
+      ++pool.in_use;
+      ++pool.prewarming;
+      ++pool.prewarm_boots;
+      // Billed by setup duration at the resource rate (provisioned
+      // capacity, not an invocation: no per-request fee) and attributed to
+      // the pool — never to cold_starts()/cold_start_setup().
+      const double cost =
+          setup * resource_rate(config_.resources, config_.pricing);
+      pool.prewarm_cost += cost;
+      total_cost_ += cost;
+      const int pool_idx = static_cast<int>(i);
+      sim_.schedule_at(inst.busy_until,
+                       [this, pool_idx] { finish_prewarm(pool_idx); });
+      --shortfall;
+      --bootable;
+    }
+  }
+}
+
+void FunctionPlatform::finish_prewarm(int pool) {
+  Pool& p = pools_[static_cast<std::size_t>(pool)];
+  --p.prewarming;
+  --p.in_use;
+  --total_in_use_;
+  // The slot is idle-warm from here on; anything backlogged behind the
+  // borrowed concurrency can start (on it, or wherever drain lands it).
+  drain_backlog();
+}
+
+void FunctionPlatform::shadow_observe() {
+  if (!shadow_armed_) return;
+  // State is piecewise-constant between events, so every interval boundary
+  // passed since the last mutation observed exactly this state.
+  while (shadow_next_ <= sim_.now()) {
+    for (Pool& pool : pools_) (void)observe_and_forecast(pool);
+    shadow_next_ += config_.autoscale.interval_s;
+  }
+}
+
 void FunctionPlatform::autoscale_tick() {
+  const bool forecasting = config_.autoscale.forecasting();
   bool limits_moved = false;
+  bool saw_demand = false;
   for (Pool& pool : pools_) {
-    const int next = autoscale_decision(pool);
+    int next;
+    if (forecasting) {
+      // Provision the forecast: the limit becomes the predicted demand
+      // `horizon` ticks out, clamped to the pool's configured band.
+      const double predicted = observe_and_forecast(pool);
+      saw_demand |= pool.demand_history.back() > 0.0;
+      // Actuate with the pool's headroom of spare slots above the point
+      // forecast: a record-breaking burst exceeds every historical
+      // observation by definition, so an exact-forecast limit throttles
+      // each new high-water mark once.  Headroom is limit-only (free);
+      // pre-warming still targets the point forecast, so it never bills
+      // speculative slack.
+      next = std::clamp(
+          static_cast<int>(std::ceil(predicted - 1e-9)) + pool.headroom,
+          std::max(1, pool.reserved), pool.burst_limit);
+    } else {
+      next = autoscale_decision(pool);
+    }
     limits_moved |= next != pool.limit;
     pool.limit = next;
     pool.series.push_back(AutoscaleSample{sim_.now(), pool.in_use, pool.limit,
@@ -427,6 +641,10 @@ void FunctionPlatform::autoscale_tick() {
   // Raised limits may unblock waiting requests.
   const std::size_t backlog_before = backlog_.size();
   drain_backlog();
+  // Pre-warm AFTER the drain: booting borrows pool concurrency, and queued
+  // work must never wait a setup period behind a boot it could have
+  // displaced.
+  if (forecasting && config_.autoscale.prewarm) prewarm_pools();
   // Self-stopping: re-arm only while a future tick can observe something
   // new.  With nothing in flight, no limit moving, and nothing drained, the
   // platform is at a fixed point — ticks are a deterministic function of
@@ -435,8 +653,26 @@ void FunctionPlatform::autoscale_tick() {
   // starved backlog (e.g. reservations summing to the whole fleet): the
   // simulation terminates with queued_requests() > 0 instead of ticking
   // unboundedly.  A later invoke() re-arms the timer.
+  //
+  // A pre-warming forecaster additionally ticks while it still predicts
+  // demand: holding capacity warm across an idle valley ahead of the next
+  // wave is the action the forecast exists for.  Termination stays
+  // guaranteed by the idle-tick budget — Holt-Winters' seasonal memory can
+  // predict the next wave indefinitely, so after two silent periods (or
+  // windows) of zero demand the workload is treated as over and the timer
+  // is allowed to stop.
+  idle_ticks_ = saw_demand ? 0 : idle_ticks_ + 1;
+  bool predicts_demand = false;
+  if (forecasting && config_.autoscale.prewarm &&
+      idle_ticks_ <= 2 * std::max(config_.autoscale.period,
+                                  config_.autoscale.window))
+    for (const Pool& pool : pools_)
+      predicts_demand |=
+          !pool.forecast_history.empty() &&
+          static_cast<int>(std::ceil(pool.forecast_history.back() - 1e-9)) > 0;
   const bool progressed = limits_moved || backlog_.size() != backlog_before;
-  if (total_in_use_ > 0 || (!backlog_.empty() && progressed))
+  if (total_in_use_ > 0 || predicts_demand ||
+      (!backlog_.empty() && progressed))
     autoscale_timer_ =
         sim_.schedule_in(config_.autoscale.interval_s, [this] {
           autoscale_tick();

@@ -99,17 +99,40 @@ struct CapacityPoolConfig {
   int reserved = 0;
   // Hard cap on this pool's concurrent instances; -1 means max_instances.
   int burst_limit = -1;
+  // Spare instances this pool's limit keeps above the point forecast when a
+  // forecast-driven AutoscalePolicy actuates it; -1 inherits
+  // AutoscalePolicy::headroom.  Latency-critical pools want slack here (a
+  // record-breaking burst exceeds every historical observation, so an
+  // exact-forecast limit throttles each new high once); throughput pools
+  // want 0 so their backlog cannot crowd the fleet.
+  int forecast_headroom = -1;
 };
 
 // Pluggable per-pool limit controller, evaluated every `interval_s` of
 // simulated time while the platform has work in flight (the timer is
 // self-stopping: it re-arms only while instances are busy or requests are
 // backlogged, so a run() that drains the workload terminates).
+//
+// The forecast-driven kinds (kEwma / kHoltWinters / kWindowedMax, see
+// serverless/forecast.h) record per-pool demand = serving instances +
+// backlog at every tick and set the pool's limit to the forecast `horizon`
+// ticks ahead.  With `prewarm` enabled they additionally boot instances
+// AHEAD of the predicted wave, so cold-start setup is paid before arrivals
+// land; pre-warm boots are billed by setup duration (resource_rate, no
+// per-request fee), attributed separately in pool telemetry, and never
+// counted in cold_starts().  With `shadow` enabled the forecaster only
+// OBSERVES: demand/forecast series are recorded lazily at event boundaries
+// (no timer event is ever scheduled), limits never move, nothing pre-warms
+// — the run is event-for-event identical to kStatic, which is how the
+// forecasters are regression-pinned against the pre-forecast goldens.
 struct AutoscalePolicy {
   enum class Kind {
     kStatic,             // limits never move; NO timer is scheduled
     kTargetUtilization,  // track in_use/limit against utilization thresholds
     kQueuePressure,      // react to per-pool backlog depth
+    kEwma,               // limit = EWMA demand forecast
+    kHoltWinters,        // limit = additive Holt-Winters demand forecast
+    kWindowedMax,        // limit = trailing-window peak demand
   };
 
   Kind kind = Kind::kStatic;
@@ -126,6 +149,30 @@ struct AutoscalePolicy {
   // reproduces the fixed-capacity platform); otherwise clamped to
   // [max(1, reserved), burst_limit].
   int initial_limit = 0;
+
+  // --- forecast-driven kinds only -------------------------------------------
+  double alpha = 0.5;        // level smoothing, (0, 1]
+  double beta = 0.1;         // trend smoothing (Holt-Winters), [0, 1]
+  double gamma = 0.1;        // seasonal smoothing (Holt-Winters), [0, 1]
+  std::size_t period = 8;    // seasonal period in ticks (Holt-Winters)
+  std::size_t horizon = 1;   // ticks ahead the forecast targets
+  std::size_t window = 8;    // trailing window in ticks (kWindowedMax)
+  // Default spare instances provisioned above the point forecast when
+  // actuating pool limits (forecast kinds only); pools override it with
+  // CapacityPoolConfig::forecast_headroom.  Limits are free until used, so
+  // headroom absorbs record-breaking bursts no trailing forecaster can have
+  // seen; pre-warming ignores it and only boots up to the point forecast.
+  int headroom = 0;
+  // Boot instances ahead of the forecast wave (forecast kinds only).
+  bool prewarm = false;
+  // Observe-only mode (forecast kinds only, mutually exclusive with
+  // prewarm): record demand/forecast series without a timer, limits frozen.
+  bool shadow = false;
+
+  [[nodiscard]] bool forecasting() const {
+    return kind == Kind::kEwma || kind == Kind::kHoltWinters ||
+           kind == Kind::kWindowedMax;
+  }
 
   [[nodiscard]] static AutoscalePolicy static_policy() { return {}; }
   [[nodiscard]] static AutoscalePolicy target_utilization(
@@ -148,6 +195,54 @@ struct AutoscalePolicy {
     p.interval_s = interval_s;
     p.initial_limit = initial_limit;
     return p;
+  }
+  [[nodiscard]] static AutoscalePolicy ewma(double alpha = 0.5,
+                                            std::size_t horizon = 1,
+                                            double interval_s = 0.5,
+                                            int initial_limit = 1) {
+    AutoscalePolicy p;
+    p.kind = Kind::kEwma;
+    p.alpha = alpha;
+    p.horizon = horizon;
+    p.interval_s = interval_s;
+    p.initial_limit = initial_limit;
+    return p;
+  }
+  [[nodiscard]] static AutoscalePolicy holt_winters(double alpha = 0.5,
+                                                    double beta = 0.1,
+                                                    double gamma = 0.1,
+                                                    std::size_t period = 8,
+                                                    double interval_s = 0.5,
+                                                    int initial_limit = 1) {
+    AutoscalePolicy p;
+    p.kind = Kind::kHoltWinters;
+    p.alpha = alpha;
+    p.beta = beta;
+    p.gamma = gamma;
+    p.period = period;
+    p.interval_s = interval_s;
+    p.initial_limit = initial_limit;
+    return p;
+  }
+  [[nodiscard]] static AutoscalePolicy windowed_max(std::size_t window = 8,
+                                                    double interval_s = 0.5,
+                                                    int initial_limit = 1) {
+    AutoscalePolicy p;
+    p.kind = Kind::kWindowedMax;
+    p.window = window;
+    p.interval_s = interval_s;
+    p.initial_limit = initial_limit;
+    return p;
+  }
+  // Observe-only twin of `base`: same forecaster and parameters, but no
+  // timer, no limit movement, no pre-warming — byte-identical to kStatic.
+  // initial_limit reverts to 0 (burst) because frozen limits must sit where
+  // kStatic leaves them.
+  [[nodiscard]] static AutoscalePolicy shadow_of(AutoscalePolicy base) {
+    base.shadow = true;
+    base.prewarm = false;
+    base.initial_limit = 0;
+    return base;
   }
 };
 
@@ -173,6 +268,15 @@ struct PoolTelemetry {
   std::size_t backlogged = 0;        // currently waiting
   common::Sampler backlog_depth;     // pool backlog length at each enqueue
   std::vector<AutoscaleSample> series;  // one entry per autoscaler tick
+  // Forecast-driven provisioning (forecast kinds only; empty/zero
+  // otherwise).  demand_history[t] is the pool's observed demand at
+  // evaluation t (serving + backlogged, pre-warming excluded);
+  // forecast_history[t] is the policy's prediction made at t for
+  // `horizon` evaluations later — score them with forecast::accuracy().
+  std::vector<double> demand_history;
+  std::vector<double> forecast_history;
+  std::uint64_t prewarm_boots = 0;  // instances booted ahead of demand
+  double prewarm_cost = 0.0;        // billed setup time of those boots ($)
 };
 
 struct PlatformConfig {
@@ -292,6 +396,11 @@ class FunctionPlatform {
   }
   [[nodiscard]] int instances_in_use() const { return total_in_use_; }
   [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
+  // Pre-warm boots / billed pre-warm setup cost, summed across EVERY pool
+  // (never a pool-0-only number).  Disjoint from cold_starts(): a pre-warmed
+  // boot is paid here instead of surfacing as a request cold start.
+  [[nodiscard]] std::uint64_t prewarm_boots() const;
+  [[nodiscard]] double prewarm_cost() const;
   // Cold-start setup seconds per cold start (cold-spike inflation included).
   [[nodiscard]] const common::Sampler& cold_start_setup() const {
     return cold_start_setup_;
@@ -323,6 +432,7 @@ class FunctionPlatform {
     std::string name;
     int reserved = 0;
     int burst_limit = 0;  // resolved (never -1)
+    int headroom = 0;     // resolved forecast headroom (never -1)
     int limit = 0;        // current autoscaled limit
     int in_use = 0;
     int peak_in_use = 0;
@@ -331,6 +441,18 @@ class FunctionPlatform {
     std::size_t backlogged = 0;  // entries of this pool inside backlog_
     common::Sampler backlog_depth;
     std::vector<AutoscaleSample> series;
+    // Forecast-driven provisioning state (forecast kinds only).
+    int prewarming = 0;  // instances booting ahead of demand right now
+    std::uint64_t prewarm_boots = 0;
+    double prewarm_cost = 0.0;
+    // High-watermark of (in_use - prewarming) + backlogged since the last
+    // observation, maintained at arrivals: sampling demand only at tick
+    // instants aliases away bursts shorter than the tick interval, and the
+    // resulting under-forecast throttles the limit, which suppresses the
+    // observed in_use even further — a self-locking feedback loop.
+    double demand_peak = 0.0;
+    std::vector<double> demand_history;
+    std::vector<double> forecast_history;
   };
 
   // In-flight invocation state parked until the completion event fires.
@@ -369,6 +491,25 @@ class FunctionPlatform {
   void maybe_arm_autoscaler();
   void autoscale_tick();
   [[nodiscard]] int autoscale_decision(const Pool& pool) const;
+  // Record demand and evaluate the forecaster for one pool (appends to
+  // demand_history / forecast_history, returns the forecast).
+  double observe_and_forecast(Pool& pool);
+  // Fold the pool's current demand into its since-last-observation
+  // high-watermark (forecast kinds only; called at arrivals, the only
+  // events that raise demand).
+  void note_demand_peak(Pool& pool);
+  // Boot instances ahead of the per-pool forecasts just recorded (actuating
+  // forecast kinds with prewarm only).  A pre-warming instance occupies its
+  // pool's concurrency (so dispatch invariants hold) and releases it at
+  // boot completion.
+  void prewarm_pools();
+  void finish_prewarm(int pool);
+  // Shadow mode: reconstruct the interval-boundary observations the timer
+  // would have made.  Platform state is piecewise-constant between events,
+  // so sampling at the entry of the two state mutators (invoke / finish) is
+  // exact — and schedules nothing, keeping shadow runs event-for-event
+  // identical to kStatic.
+  void shadow_observe();
 
   sim::Simulator& sim_;
   PlatformConfig config_;
@@ -381,6 +522,13 @@ class FunctionPlatform {
   std::vector<Completion> completions_;        // slot pool (see Completion)
   std::vector<std::uint32_t> completion_free_;
   sim::EventHandle autoscale_timer_;
+  // Next interval boundary shadow_observe() owes a sample for (shadow mode
+  // only); 0 until the first invoke arms it.
+  double shadow_next_ = 0.0;
+  bool shadow_armed_ = false;
+  // Consecutive autoscale ticks with zero demand across every pool; bounds
+  // how long a pre-warming forecaster may keep ticking over an idle fleet.
+  std::size_t idle_ticks_ = 0;
   int round_robin_ = 0;
   int total_in_use_ = 0;
   std::uint64_t next_id_ = 0;

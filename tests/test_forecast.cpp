@@ -1,0 +1,255 @@
+// The demand forecasters as pure functions (serverless/forecast.h):
+// recurrences against hand-rolled references, windowed-max properties,
+// NaN / empty-series / cold-start edge cases, determinism, and the
+// forecast-accuracy harness itself.
+
+#include "serverless/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace tangram::serverless::forecast {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- EWMA --------------------------------------------------------------------
+
+TEST(Ewma, MatchesHandRolledRecurrence) {
+  const std::vector<double> series{4.0, 2.0, 8.0, 6.0, 1.0};
+  const double alpha = 0.3;
+  // Seeded with the first observation, then s = a*x + (1-a)*s.
+  double expected = series[0];
+  for (std::size_t t = 1; t < series.size(); ++t)
+    expected = alpha * series[t] + (1.0 - alpha) * expected;
+  EXPECT_DOUBLE_EQ(ewma(series, alpha), expected);
+}
+
+TEST(Ewma, AlphaOneTracksLastObservation) {
+  const std::vector<double> series{3.0, 9.0, 5.5};
+  EXPECT_DOUBLE_EQ(ewma(series, 1.0), 5.5);
+}
+
+TEST(Ewma, EmptySeriesForecastsZero) {
+  EXPECT_EQ(ewma({}, 0.5), 0.0);
+}
+
+TEST(Ewma, SingleObservationIsTheSeed) {
+  const std::vector<double> series{7.0};
+  EXPECT_DOUBLE_EQ(ewma(series, 0.1), 7.0);
+}
+
+TEST(Ewma, ConstantSeriesForecastsTheConstant) {
+  const std::vector<double> series(25, 4.0);
+  EXPECT_DOUBLE_EQ(ewma(series, 0.2), 4.0);
+}
+
+TEST(Ewma, NonFiniteObservationsAreSkipped) {
+  const std::vector<double> clean{4.0, 2.0, 8.0};
+  const std::vector<double> dirty{4.0, kNan, 2.0, kInf, 8.0, -kInf};
+  EXPECT_DOUBLE_EQ(ewma(dirty, 0.4), ewma(clean, 0.4));
+  EXPECT_EQ(ewma(std::vector<double>{kNan, kInf}, 0.5), 0.0);
+}
+
+TEST(Ewma, InvalidAlphaThrows) {
+  const std::vector<double> series{1.0};
+  EXPECT_THROW((void)ewma(series, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ewma(series, -0.5), std::invalid_argument);
+  EXPECT_THROW((void)ewma(series, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)ewma(series, kNan), std::invalid_argument);
+}
+
+// --- Holt-Winters ------------------------------------------------------------
+
+// Hand-rolled additive Holt-Winters, written independently of the
+// implementation's loop structure.
+double reference_holt_winters(const std::vector<double>& x, double alpha,
+                              double beta, double gamma, std::size_t period,
+                              std::size_t horizon) {
+  const std::size_t n = x.size();
+  double mean1 = 0.0, mean2 = 0.0;
+  for (std::size_t i = 0; i < period; ++i) {
+    mean1 += x[i] / static_cast<double>(period);
+    mean2 += x[period + i] / static_cast<double>(period);
+  }
+  double level = mean1;
+  double trend = (mean2 - mean1) / static_cast<double>(period);
+  std::vector<double> season;
+  for (std::size_t i = 0; i < period; ++i) season.push_back(x[i] - mean1);
+  for (std::size_t t = period; t < n; ++t) {
+    const double prev = level;
+    const std::size_t s = t % period;
+    level = alpha * (x[t] - season[s]) + (1.0 - alpha) * (level + trend);
+    trend = beta * (level - prev) + (1.0 - beta) * trend;
+    season[s] = gamma * (x[t] - level) + (1.0 - gamma) * season[s];
+  }
+  const double f = level + static_cast<double>(horizon) * trend +
+                   season[(n + horizon - 1) % period];
+  return f < 0.0 ? 0.0 : f;
+}
+
+TEST(HoltWinters, MatchesHandRolledRecurrence) {
+  // Three full periods of a seasonal + trending signal.
+  std::vector<double> x;
+  for (int t = 0; t < 12; ++t)
+    x.push_back(5.0 + 0.25 * t + (t % 4 == 0 ? 3.0 : (t % 4 == 2 ? -2.0 : 0.0)));
+  for (const std::size_t horizon : {1u, 2u, 4u}) {
+    EXPECT_DOUBLE_EQ(holt_winters(x, 0.5, 0.2, 0.3, 4, horizon),
+                     reference_holt_winters(x, 0.5, 0.2, 0.3, 4, horizon))
+        << "horizon=" << horizon;
+  }
+}
+
+TEST(HoltWinters, TracksAPureSeasonalSignalAfterTwoPeriods) {
+  // Period-4 square-ish wave, no trend, no noise: with several periods of
+  // history the forecast for the next step should be close to the true next
+  // value — the property pre-warming depends on.
+  const std::vector<double> wave{1, 1, 6, 6};
+  std::vector<double> x;
+  for (int rep = 0; rep < 6; ++rep)
+    for (const double v : wave) x.push_back(v);
+  // Next value (t = 24) is wave[0] = 1; two steps out is wave[1] = 1; three
+  // out is wave[2] = 6.
+  EXPECT_NEAR(holt_winters(x, 0.3, 0.05, 0.4, 4, 1), 1.0, 0.75);
+  EXPECT_NEAR(holt_winters(x, 0.3, 0.05, 0.4, 4, 3), 6.0, 0.75);
+}
+
+TEST(HoltWinters, ShortSeriesFallsBackToHoltLinear) {
+  // 5 observations < 2 * period(4): Holt's linear method (level + trend).
+  const std::vector<double> x{2.0, 4.0, 6.0, 8.0, 10.0};
+  const double alpha = 0.8, beta = 0.5;
+  double level = x[0], trend = 0.0;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    const double prev = level;
+    level = alpha * x[t] + (1.0 - alpha) * (level + trend);
+    trend = beta * (level - prev) + (1.0 - beta) * trend;
+  }
+  EXPECT_DOUBLE_EQ(holt_winters(x, alpha, beta, 0.1, 4, 2),
+                   level + 2.0 * trend);
+}
+
+TEST(HoltWinters, EmptyAndColdStartEdgeCases) {
+  EXPECT_EQ(holt_winters({}, 0.5, 0.1, 0.1, 4, 1), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(holt_winters(one, 0.5, 0.1, 0.1, 4, 1), 3.0);
+  // All-NaN series is an empty series after filtering.
+  const std::vector<double> nans{kNan, kNan};
+  EXPECT_EQ(holt_winters(nans, 0.5, 0.1, 0.1, 4, 1), 0.0);
+}
+
+TEST(HoltWinters, ForecastIsClampedNonNegative) {
+  // Strong downward trend extrapolated far out would go negative.
+  const std::vector<double> x{10.0, 8.0, 6.0, 4.0, 2.0};
+  EXPECT_EQ(holt_winters(x, 1.0, 1.0, 0.0, 2, 50), 0.0);
+}
+
+TEST(HoltWinters, InvalidParametersThrow) {
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW((void)holt_winters(x, 0.5, -0.1, 0.1, 4, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)holt_winters(x, 0.5, 0.1, 1.1, 4, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)holt_winters(x, 0.5, 0.1, 0.1, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)holt_winters(x, 0.5, 0.1, 0.1, 4, 0),
+               std::invalid_argument);
+}
+
+// --- windowed max ------------------------------------------------------------
+
+TEST(WindowedMax, TakesTheTrailingWindowPeak) {
+  const std::vector<double> x{9.0, 1.0, 4.0, 3.0, 2.0};
+  EXPECT_EQ(windowed_max(x, 3), 4.0);  // {4, 3, 2}
+  EXPECT_EQ(windowed_max(x, 1), 2.0);
+  EXPECT_EQ(windowed_max(x, 5), 9.0);
+  EXPECT_EQ(windowed_max(x, 100), 9.0);  // window past the start: whole series
+}
+
+TEST(WindowedMax, MonotoneInWindowSize) {
+  const std::vector<double> x{3.0, 7.0, 2.0, 5.0, 1.0, 4.0};
+  for (std::size_t w = 1; w < x.size(); ++w)
+    EXPECT_LE(windowed_max(x, w), windowed_max(x, w + 1)) << "window=" << w;
+}
+
+TEST(WindowedMax, NeverBelowTheLatestObservation) {
+  const std::vector<double> x{0.0, 2.0, 5.0, 3.0};
+  for (std::size_t w = 1; w <= x.size(); ++w)
+    EXPECT_GE(windowed_max(x, w), x.back()) << "window=" << w;
+}
+
+TEST(WindowedMax, EdgeCases) {
+  EXPECT_EQ(windowed_max({}, 4), 0.0);
+  const std::vector<double> nans{kNan, kNan};
+  EXPECT_EQ(windowed_max(nans, 2), 0.0);
+  // NaN entries are skipped WITHOUT consuming the window: the peak behind
+  // them stays visible.
+  const std::vector<double> dirty{6.0, kNan, 2.0};
+  EXPECT_EQ(windowed_max(dirty, 2), 6.0);
+  EXPECT_THROW((void)windowed_max(dirty, 0), std::invalid_argument);
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(Forecast, RepeatedEvaluationIsDeterministic) {
+  std::vector<double> x;
+  for (int t = 0; t < 64; ++t)
+    x.push_back(std::sin(0.37 * t) * 3.0 + 4.0 + (t % 8));
+  const double e = ewma(x, 0.42);
+  const double h = holt_winters(x, 0.42, 0.13, 0.27, 8, 3);
+  const double w = windowed_max(x, 11);
+  for (int rep = 0; rep < 10; ++rep) {
+    EXPECT_EQ(ewma(x, 0.42), e);
+    EXPECT_EQ(holt_winters(x, 0.42, 0.13, 0.27, 8, 3), h);
+    EXPECT_EQ(windowed_max(x, 11), w);
+  }
+}
+
+// --- accuracy harness --------------------------------------------------------
+
+TEST(Accuracy, ScoresForecastsAgainstShiftedDemand) {
+  // forecasts[t] targets demand[t + 1]; errors: (3-4)=-1, (5-5)=0, (7-6)=+1.
+  const std::vector<double> demand{9.0, 4.0, 5.0, 6.0};
+  const std::vector<double> forecasts{3.0, 5.0, 7.0, 99.0};  // last unscored
+  const Accuracy acc = accuracy(demand, forecasts, 1);
+  EXPECT_EQ(acc.samples, 3u);
+  EXPECT_DOUBLE_EQ(acc.mae, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(acc.rmse, std::sqrt(2.0 / 3.0));
+  EXPECT_DOUBLE_EQ(acc.bias, 0.0);
+}
+
+TEST(Accuracy, PerfectForecastScoresZero) {
+  const std::vector<double> demand{1.0, 2.0, 3.0, 4.0, 5.0};
+  // Predict demand[t + 2] exactly.
+  const std::vector<double> forecasts{3.0, 4.0, 5.0};
+  const Accuracy acc = accuracy(demand, forecasts, 2);
+  EXPECT_EQ(acc.samples, 3u);
+  EXPECT_EQ(acc.mae, 0.0);
+  EXPECT_EQ(acc.rmse, 0.0);
+  EXPECT_EQ(acc.bias, 0.0);
+}
+
+TEST(Accuracy, BiasSignsOverProvisioning) {
+  const std::vector<double> demand{0.0, 2.0, 2.0};
+  const std::vector<double> over{5.0, 5.0};
+  const std::vector<double> under{0.0, 0.0};
+  EXPECT_GT(accuracy(demand, over, 1).bias, 0.0);
+  EXPECT_LT(accuracy(demand, under, 1).bias, 0.0);
+}
+
+TEST(Accuracy, EmptyAndNonFiniteEdgeCases) {
+  EXPECT_EQ(accuracy({}, {}, 1).samples, 0u);
+  const std::vector<double> demand{1.0, kNan, 3.0};
+  const std::vector<double> forecasts{kNan, 2.0, 9.0};
+  // t=0: forecast NaN; t=1: (2, 3) valid.  t=2's target is past the end.
+  const Accuracy acc = accuracy(demand, forecasts, 1);
+  EXPECT_EQ(acc.samples, 1u);
+  EXPECT_DOUBLE_EQ(acc.mae, 1.0);
+  EXPECT_THROW((void)accuracy(demand, forecasts, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tangram::serverless::forecast
