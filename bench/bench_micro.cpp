@@ -6,12 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <vector>
 
+#include "common/alloc_probe.h"
 #include "common/rng.h"
 #include "core/estimator.h"
 #include "core/free_rect_index.h"
@@ -25,28 +25,9 @@
 #include "vision/gmm.h"
 
 // Global allocation tally for BM_DispatchPath's allocs_per_patch counter
-// (malloc passthrough; the relaxed increment is noise for every other
-// benchmark in this binary).
-namespace {
-std::atomic<std::uint64_t> g_heap_allocs{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+// (shared probe, malloc passthrough; the relaxed increment is noise for
+// every other benchmark in this binary).
+TANGRAM_DEFINE_ALLOC_PROBE_HOOK();
 
 using namespace tangram;
 
@@ -328,8 +309,7 @@ void BM_DispatchPath(benchmark::State& state) {
     sim.run_until(t);
   }
 
-  const std::uint64_t allocs_before =
-      g_heap_allocs.load(std::memory_order_relaxed);
+  const std::size_t allocs_before = common::alloc_probe_calls();
   for (auto _ : state) {
     for (int i = 0; i < patches_per_window; ++i) {
       t += 2e-3;
@@ -346,8 +326,7 @@ void BM_DispatchPath(benchmark::State& state) {
     t += 1.0;
     sim.run_until(t);
   }
-  const std::uint64_t allocs_after =
-      g_heap_allocs.load(std::memory_order_relaxed);
+  const std::size_t allocs_after = common::alloc_probe_calls();
   benchmark::DoNotOptimize(ctx.completed);
 
   const double patches =

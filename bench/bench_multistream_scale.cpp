@@ -44,8 +44,6 @@
 // high-water mark after the cell (VmHWM — monotone across cells, so within
 // one run it only identifies which cell first pushed the peak).
 
-#include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -55,31 +53,18 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_probe.h"
 #include "common/table.h"
 #include "experiments/harness.h"
+#include "experiments/parallel_runner.h"
 #include "serverless/forecast.h"
-
-namespace {
 
 // Process-global allocation counter behind the dispatch-path telemetry: the
 // zero-allocation dispatch pipeline keeps steady-state batch dispatch off
 // the heap, so allocs-per-patch over a whole cell is dominated by start-up
-// growth and should shrink PR over PR.  Relaxed is enough — the counter is
-// only read around a serial cell.
-std::atomic<std::uint64_t> g_heap_allocs{0};
-
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// growth and should shrink PR over PR.  The shared probe's relaxed counter
+// is enough — it is only read around a serial cell.
+TANGRAM_DEFINE_ALLOC_PROBE_HOOK();
 
 using namespace tangram;
 
@@ -423,17 +408,12 @@ int main(int argc, char** argv) {
   DispatchPathPoint dispatch_point;
   {
     experiments::MultiStreamCell cell = cells[6];
-    const auto wall_start = std::chrono::steady_clock::now();
-    const std::uint64_t allocs_start =
-        g_heap_allocs.load(std::memory_order_relaxed);
+    const double wall_start_ms = experiments::wall_clock_ms();
+    const std::size_t allocs_start = common::alloc_probe_calls();
     const auto result =
         experiments::run_multistream(cell.cameras, cell.config);
-    dispatch_point.allocs =
-        g_heap_allocs.load(std::memory_order_relaxed) - allocs_start;
-    dispatch_point.wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - wall_start)
-            .count();
+    dispatch_point.allocs = common::alloc_probe_calls() - allocs_start;
+    dispatch_point.wall_ms = experiments::wall_clock_ms() - wall_start_ms;
     dispatch_point.streams = cell.cameras.size();
     dispatch_point.patches = result.patches_completed;
     dispatch_point.allocs_per_patch =

@@ -1,0 +1,33 @@
+// TANGRAM_HOT_PATH — the allocation-free dispatch contract, as an annotation.
+//
+// PR 8 made steady-state batch dispatch (admit -> pack -> invoke -> complete
+// -> recycle) perform zero heap allocations, pinned at runtime by
+// tests/test_dispatch_alloc.cpp's operator-new counter.  This macro marks the
+// functions that carry that contract so it is ALSO enforced statically:
+// tools/lint/tangram_lint.py scans every annotated function body and rejects
+//
+//   * `new` / `std::make_unique` / `std::make_shared` tokens, and
+//   * `push_back` calls with no `reserve` in sight (same line or the two
+//     lines above, code or comment) — a push_back onto a vector that keeps
+//     its high-water capacity is fine, but the justification must be written
+//     down where the call is.
+//
+// The annotation is not just a lint marker: under GCC/Clang it expands to
+// [[gnu::hot]], so the optimizer also treats these functions as hot
+// (aggressive inlining, favourable block placement).
+//
+// Usage — at the start of the declaration, after any template header:
+//
+//   TANGRAM_HOT_PATH void SloAwareInvoker::on_patch(Patch patch) { ... }
+//
+// Escape hatch for a deliberate allocation inside a hot function:
+// `// tangram-lint: allow(hot-path-alloc)` on the offending line (see
+// tools/lint/README.md).
+
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TANGRAM_HOT_PATH [[gnu::hot]]
+#else
+#define TANGRAM_HOT_PATH
+#endif

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/hot_path.h"
+
 namespace tangram::core {
 
 FreeRectIndex::FreeRectIndex(common::Size canvas) : canvas_(canvas) {
@@ -18,15 +20,18 @@ FreeRectIndex::FreeRectIndex(common::Size canvas) : canvas_(canvas) {
   bucket_bits_.resize(max_short_side / 64 + 1, 0);
 }
 
-void FreeRectIndex::bucket_add(std::uint32_t canvas, std::uint64_t rect_id,
-                               common::Rect rect) {
+TANGRAM_HOT_PATH void FreeRectIndex::bucket_add(std::uint32_t canvas,
+                                                std::uint64_t rect_id,
+                                                common::Rect rect) {
   const auto s = static_cast<std::size_t>(std::min(rect.width, rect.height));
+  // reserve: buckets are cleared, never destroyed — capacity persists
   buckets_[s].push_back(BucketEntry{canvas, rect_id, rect.width, rect.height});
   bucket_bits_[s / 64] |= std::uint64_t{1} << (s % 64);
 }
 
-void FreeRectIndex::bucket_remove(std::uint32_t canvas, std::uint64_t rect_id,
-                                  common::Rect rect) {
+TANGRAM_HOT_PATH void FreeRectIndex::bucket_remove(std::uint32_t canvas,
+                                                   std::uint64_t rect_id,
+                                                   common::Rect rect) {
   const auto s = static_cast<std::size_t>(std::min(rect.width, rect.height));
   auto& bucket = buckets_[s];
   for (std::size_t i = 0; i < bucket.size(); ++i) {
@@ -41,10 +46,12 @@ void FreeRectIndex::bucket_remove(std::uint32_t canvas, std::uint64_t rect_id,
   throw std::logic_error("FreeRectIndex: bucket entry missing");
 }
 
-std::uint64_t FreeRectIndex::push_rect(std::size_t canvas, common::Rect rect) {
+TANGRAM_HOT_PATH std::uint64_t FreeRectIndex::push_rect(std::size_t canvas,
+                                                        common::Rect rect) {
   const std::uint64_t rect_id = next_rect_id_++;
+  // reserve: per-canvas free lists recycle with capacity intact (clear())
   canvases_[canvas].push_back(rect);
-  rect_ids_[canvas].push_back(rect_id);
+  rect_ids_[canvas].push_back(rect_id);  // reserve: same recycled storage
   ++total_rects_;
   bucket_add(static_cast<std::uint32_t>(canvas), rect_id, rect);
   return rect_id;
@@ -69,7 +76,7 @@ void FreeRectIndex::remove_rect(std::size_t canvas, std::size_t index) {
   --total_rects_;
 }
 
-FreeRectIndex::Candidate FreeRectIndex::best_short_side_fit(
+TANGRAM_HOT_PATH FreeRectIndex::Candidate FreeRectIndex::best_short_side_fit(
     common::Size item) const {
   int best_score = std::numeric_limits<int>::max();
   std::uint32_t best_canvas = std::numeric_limits<std::uint32_t>::max();
@@ -121,7 +128,7 @@ done:
                    static_cast<std::size_t>(it - ids.begin())};
 }
 
-FreeRectIndex::Placed FreeRectIndex::place(common::Size item) {
+TANGRAM_HOT_PATH FreeRectIndex::Placed FreeRectIndex::place(common::Size item) {
   if (item.empty())
     throw std::invalid_argument("FreeRectIndex: empty item");
   if (item.width > canvas_.width || item.height > canvas_.height)
@@ -174,8 +181,11 @@ FreeRectIndex::Placed FreeRectIndex::place(common::Size item) {
   return Placed{best.canvas, common::Point{chosen.x, chosen.y}};
 }
 
-void FreeRectIndex::journal(Op op, std::size_t canvas, std::size_t index,
-                            common::Rect rect, std::uint64_t rect_id) {
+TANGRAM_HOT_PATH void FreeRectIndex::journal(Op op, std::size_t canvas,
+                                             std::size_t index,
+                                             common::Rect rect,
+                                             std::uint64_t rect_id) {
+  // reserve: journal is cleared per session, capacity persists
   journal_.push_back(
       JournalEntry{op, next_id_++, canvas, index, rect, rect_id});
 }
@@ -208,28 +218,30 @@ void FreeRectIndex::rollback(Mark mark) {
   }
 }
 
-void FreeRectIndex::open_canvas() {
+TANGRAM_HOT_PATH void FreeRectIndex::open_canvas() {
   if (spare_lists_.empty()) {
     canvases_.emplace_back();
     rect_ids_.emplace_back();
     return;
   }
+  // reserve: reviving a parked canvas, outer vectors at high-water capacity
   canvases_.push_back(std::move(spare_lists_.back()));
   spare_lists_.pop_back();
-  rect_ids_.push_back(std::move(spare_ids_.back()));
+  rect_ids_.push_back(std::move(spare_ids_.back()));  // reserve: parked pair
   spare_ids_.pop_back();
 }
 
-void FreeRectIndex::retire_canvas() {
+TANGRAM_HOT_PATH void FreeRectIndex::retire_canvas() {
   canvases_.back().clear();
+  // reserve: parking lists mirror the canvas count, capacity persists
   spare_lists_.push_back(std::move(canvases_.back()));
   canvases_.pop_back();
   rect_ids_.back().clear();
-  spare_ids_.push_back(std::move(rect_ids_.back()));
+  spare_ids_.push_back(std::move(rect_ids_.back()));  // reserve: parked pair
   rect_ids_.pop_back();
 }
 
-void FreeRectIndex::clear() {
+TANGRAM_HOT_PATH void FreeRectIndex::clear() {
   // Park every canvas's vectors rather than destroying them: after the first
   // few sessions the place() loop runs entirely on recycled capacity.
   while (!canvases_.empty()) retire_canvas();

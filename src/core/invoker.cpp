@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/hot_path.h"
+
 namespace tangram::core {
 
 void InvokerStats::merge(const InvokerStats& other) {
@@ -23,26 +25,27 @@ void InvokerStats::merge(const InvokerStats& other) {
   steal_bytes += other.steal_bytes;
 }
 
-Batch BatchPool::acquire() {
+TANGRAM_HOT_PATH Batch BatchPool::acquire() {
   if (shells_.empty()) return Batch{};
   Batch batch = std::move(shells_.back());
   shells_.pop_back();
   return batch;
 }
 
-PackedCanvas BatchPool::acquire_canvas() {
+TANGRAM_HOT_PATH PackedCanvas BatchPool::acquire_canvas() {
   if (canvases_.empty()) return PackedCanvas{};
   PackedCanvas canvas = std::move(canvases_.back());
   canvases_.pop_back();
   return canvas;
 }
 
-void BatchPool::recycle(Batch&& batch) {
+TANGRAM_HOT_PATH void BatchPool::recycle(Batch&& batch) {
   for (PackedCanvas& canvas : batch.canvases) {
     if (canvases_.size() >= kMaxPooledCanvases) break;
     canvas.patches.clear();
     canvas.positions.clear();
     canvas.fill = 0.0;
+    // reserve: capped freelist, capacity grows only to the in-flight peak
     canvases_.push_back(std::move(canvas));
   }
   batch.canvases.clear();
@@ -50,6 +53,7 @@ void BatchPool::recycle(Batch&& batch) {
   batch.earliest_deadline = 0.0;
   batch.slack_estimate = 0.0;
   batch.total_patches = 0;
+  // reserve: capped freelist, capacity grows only to the in-flight peak
   if (shells_.size() < kMaxPooledShells) shells_.push_back(std::move(batch));
 }
 
@@ -94,12 +98,12 @@ void SloAwareInvoker::repack_full() {
   refresh_deadline_and_slack();
 }
 
-void SloAwareInvoker::on_patch(Patch patch) {
+TANGRAM_HOT_PATH void SloAwareInvoker::on_patch(Patch patch) {
   patch.arrival_time = sim_.now();
   attach_patch(std::move(patch));
 }
 
-void SloAwareInvoker::attach_patch(Patch patch) {
+TANGRAM_HOT_PATH void SloAwareInvoker::attach_patch(Patch patch) {
   if (solver_.sorted()) {
     admit_resorting(std::move(patch));
   } else {
@@ -121,7 +125,7 @@ void SloAwareInvoker::attach_patch(Patch patch) {
   arm_timer();
 }
 
-void SloAwareInvoker::admit_incremental(Patch patch) {
+TANGRAM_HOT_PATH void SloAwareInvoker::admit_incremental(Patch patch) {
   // Lines 4-8: tentatively extend the canvas set with the new patch.  The
   // checkpoint stands in for C_old — un-admitting is a rollback, not a
   // second solver run.
@@ -136,8 +140,9 @@ void SloAwareInvoker::admit_incremental(Patch patch) {
   // add() before the queue push: if the patch is invalid and add() throws,
   // every piece of invoker state is still untouched and consistent.
   const Placement placement = session_.add(patch.size());
+  // reserve: queue_/placements_ keep high-water capacity across flushes
   queue_.push_back(std::move(patch));
-  placements_.push_back(placement);
+  placements_.push_back(placement);  // reserve: same high-water storage
   ++stats_.incremental_adds;
   earliest_deadline_ = had_queue
                            ? std::min(old_deadline, queue_.back().deadline())
@@ -162,8 +167,9 @@ void SloAwareInvoker::admit_incremental(Patch patch) {
     ++stats_.forced_flushes;
 
     const Placement fresh = session_.add(newcomer.size());
+    // reserve: restarting into the capacity the flushed queue just vacated
     queue_.push_back(std::move(newcomer));
-    placements_.push_back(fresh);
+    placements_.push_back(fresh);  // reserve: same vacated storage
     ++stats_.incremental_adds;
     earliest_deadline_ = queue_.back().deadline();
     // A single patch on a fresh session is always exactly one canvas.
@@ -195,7 +201,7 @@ void SloAwareInvoker::admit_resorting(Patch patch) {
   }
 }
 
-void SloAwareInvoker::arm_timer() {
+TANGRAM_HOT_PATH void SloAwareInvoker::arm_timer() {
   if (queue_.empty()) {
     timer_.cancel();
     return;
@@ -210,7 +216,7 @@ void SloAwareInvoker::arm_timer() {
     timer_ = sim_.schedule_at(when, [this] { invoke_current(); });
 }
 
-Batch SloAwareInvoker::build_batch() {
+TANGRAM_HOT_PATH Batch SloAwareInvoker::build_batch() {
   Batch batch = batch_pool_->acquire();
   batch.invoke_time = sim_.now();
   batch.earliest_deadline = earliest_deadline_;
@@ -229,18 +235,20 @@ Batch SloAwareInvoker::build_batch() {
     canvas.patches.reserve(canvas_counts_[c]);
     canvas.positions.reserve(canvas_counts_[c]);
     canvas.fill = session_.canvas_fill(c);
+    // reserve: batch.canvases.reserve(canvases) above sized this exactly
     batch.canvases.push_back(std::move(canvas));
   }
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Placement& pl = placements_[i];
     auto& canvas = batch.canvases[static_cast<std::size_t>(pl.canvas_index)];
+    // reserve: per-canvas reserve(canvas_counts_[c]) in the loop above
     canvas.patches.push_back(queue_[i]);
-    canvas.positions.push_back(pl.position);
+    canvas.positions.push_back(pl.position);  // reserve: same counting pass
   }
   return batch;
 }
 
-void SloAwareInvoker::invoke_current() {
+TANGRAM_HOT_PATH void SloAwareInvoker::invoke_current() {
   timer_.cancel();
   if (queue_.empty()) return;
 

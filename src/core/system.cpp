@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/hot_path.h"
+
 namespace tangram::core {
 
 namespace {
@@ -182,7 +184,7 @@ void TangramSystem::receive_patch(Patch patch) {
   receive_patch(StreamId{0}, std::move(patch));
 }
 
-void TangramSystem::submit(StreamId stream, Patch patch) {
+TANGRAM_HOT_PATH void TangramSystem::submit(StreamId stream, Patch patch) {
   ++streams_[static_cast<std::size_t>(stream)].patches_received;
   // Route by stream id, not the cached StreamStats::shard — the rebalancer
   // may have moved the stream since registration.
@@ -191,7 +193,7 @@ void TangramSystem::submit(StreamId stream, Patch patch) {
 
 void TangramSystem::flush() { pool_->flush(); }
 
-void TangramSystem::dispatch(int shard, Batch&& batch) {
+TANGRAM_HOT_PATH void TangramSystem::dispatch(int shard, Batch&& batch) {
   // Queue-to-invoke latency is known the moment the batch forms; record it
   // per stream before the function round-trip.
   for (const auto& canvas : batch.canvases)
@@ -218,7 +220,7 @@ void TangramSystem::dispatch(int shard, Batch&& batch) {
                     });
 }
 
-std::uint32_t TangramSystem::acquire_inflight() {
+TANGRAM_HOT_PATH std::uint32_t TangramSystem::acquire_inflight() {
   if (inflight_free_.empty()) {
     inflight_.emplace_back();
     return static_cast<std::uint32_t>(inflight_.size() - 1);
@@ -228,11 +230,12 @@ std::uint32_t TangramSystem::acquire_inflight() {
   return slot;
 }
 
-void TangramSystem::complete_batch(
+TANGRAM_HOT_PATH void TangramSystem::complete_batch(
     std::uint32_t slot, const serverless::InvocationRecord& record) {
   // Move the batch out and free the slot first: on_result_ may submit
   // patches that dispatch re-entrantly and reuse it.
   Batch batch = std::move(inflight_[slot]);
+  // reserve: slot freelist keeps the in-flight high-water capacity
   inflight_free_.push_back(slot);
   for (const auto& canvas : batch.canvases) {
     for (const auto& patch : canvas.patches) {

@@ -21,7 +21,6 @@
 
 #pragma once
 
-#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <type_traits>
@@ -35,6 +34,14 @@ namespace tangram::experiments {
 // Monotone over the process lifetime, so sampling it after a cell finishes
 // bounds the footprint of everything run so far.
 [[nodiscard]] long peak_rss_kb();
+
+// Monotonic wall-clock milliseconds (std::chrono::steady_clock under the
+// hood).  This is the ONE sanctioned real-clock read in the experiments
+// layer: everything simulation-visible runs on sim::Simulator's virtual
+// clock, and tools/lint/tangram_lint.py's wall-clock rule allowlists exactly
+// this function's definition — new timing code must route through here
+// (difference of two calls), never read a clock inline next to sim state.
+[[nodiscard]] double wall_clock_ms();
 
 // Per-cell wall-clock measurement; see the header comment on determinism.
 struct CellTiming {
@@ -75,12 +82,9 @@ class ParallelSweepRunner {
     using Result = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
     std::vector<SweepCellOutcome<Result>> cells(count);
     run_indexed(count, [&](std::size_t i) {
-      const auto start = std::chrono::steady_clock::now();
+      const double start_ms = wall_clock_ms();
       cells[i].result = fn(i);
-      cells[i].timing.wall_ms =
-          std::chrono::duration<double, std::milli>(
-              std::chrono::steady_clock::now() - start)
-              .count();
+      cells[i].timing.wall_ms = wall_clock_ms() - start_ms;
       cells[i].timing.peak_rss_kb = peak_rss_kb();
     });
     return cells;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/hot_path.h"
 #include "serverless/forecast.h"
 
 namespace tangram::serverless {
@@ -242,8 +243,9 @@ void FunctionPlatform::invoke(const RequestSpec& spec, int pool,
   invoke_on_pool(spec, pool, std::move(on_complete));
 }
 
-void FunctionPlatform::invoke_on_pool(const RequestSpec& spec, int pool,
-                                      Callback on_complete) {
+TANGRAM_HOT_PATH void FunctionPlatform::invoke_on_pool(const RequestSpec& spec,
+                                                       int pool,
+                                                       Callback on_complete) {
   if (spec.num_canvases > 0 &&
       spec.num_canvases > max_canvases_per_batch(spec.canvas))
     throw std::invalid_argument(
@@ -271,6 +273,7 @@ void FunctionPlatform::invoke_on_pool(const RequestSpec& spec, int pool,
   if (p.backlogged > 0 || !pool_has_capacity(pool)) {
     ++p.backlogged;
     p.backlog_depth.add(static_cast<double>(p.backlogged));
+    // reserve: backlog keeps its high-water capacity across drains
     backlog_.push_back(std::move(pending));
     note_demand_peak(p);
     return;
@@ -295,7 +298,7 @@ int FunctionPlatform::find_cooled_slot() const {
   return -1;
 }
 
-void FunctionPlatform::dispatch(Pending pending) {
+TANGRAM_HOT_PATH void FunctionPlatform::dispatch(Pending pending) {
   const int warm = find_idle_warm_instance();
   if (warm >= 0) {
     start_on_instance(warm, std::move(pending), /*cold=*/false);
@@ -310,12 +313,13 @@ void FunctionPlatform::dispatch(Pending pending) {
   }
   if (static_cast<int>(instances_.size()) >= config_.max_instances)
     throw std::logic_error("FunctionPlatform::dispatch without capacity");
+  // reserve: fleet growth is capped at max_instances, then slots recycle
   instances_.push_back(Instance{});
   start_on_instance(static_cast<int>(instances_.size()) - 1,
                     std::move(pending), /*cold=*/true);
 }
 
-void FunctionPlatform::drain_backlog() {
+TANGRAM_HOT_PATH void FunctionPlatform::drain_backlog() {
   if (backlog_.empty()) return;
   // Strict FIFO within each pool: once a pool's head entry cannot start,
   // every later entry of that pool stays queued this round; other pools'
@@ -337,8 +341,9 @@ void FunctionPlatform::drain_backlog() {
   backlog_.resize(write);
 }
 
-void FunctionPlatform::start_on_instance(int instance, Pending pending,
-                                         bool cold) {
+TANGRAM_HOT_PATH void FunctionPlatform::start_on_instance(int instance,
+                                                          Pending pending,
+                                                          bool cold) {
   Instance& inst = instances_[static_cast<std::size_t>(instance)];
   Pool& pool = pools_[static_cast<std::size_t>(pending.pool)];
 
@@ -415,7 +420,7 @@ void FunctionPlatform::start_on_instance(int instance, Pending pending,
                    [this, slot] { finish_invocation(slot); });
 }
 
-std::uint32_t FunctionPlatform::acquire_completion() {
+TANGRAM_HOT_PATH std::uint32_t FunctionPlatform::acquire_completion() {
   if (completion_free_.empty()) {
     completions_.emplace_back();
     return static_cast<std::uint32_t>(completions_.size() - 1);
@@ -425,13 +430,14 @@ std::uint32_t FunctionPlatform::acquire_completion() {
   return slot;
 }
 
-void FunctionPlatform::finish_invocation(std::uint32_t slot) {
+TANGRAM_HOT_PATH void FunctionPlatform::finish_invocation(std::uint32_t slot) {
   if (config_.autoscale.shadow) shadow_observe();
   // Copy out and release the slot first: the callback (or the drain it
   // triggers) may invoke again and legitimately reuse this very slot.
   const InvocationRecord record = completions_[slot].record;
   Callback cb = std::move(completions_[slot].callback);
   completions_[slot].callback = nullptr;
+  // reserve: slot freelist keeps the completion high-water capacity
   completion_free_.push_back(slot);
   // Free the capacity before the callback runs, so work the callback
   // submits sees the slot (and drain below keeps FIFO for anything already

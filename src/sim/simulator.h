@@ -57,6 +57,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/hot_path.h"
+
 namespace tangram::sim {
 
 using TimePoint = double;  // seconds of simulated time
@@ -195,7 +197,7 @@ class Simulator {
   // Schedule `fn` to run at absolute time `when` (>= now; see the past-time
   // convention at the top of this file).
   template <typename Fn>
-  EventHandle schedule_at(TimePoint when, Fn&& fn) {
+  TANGRAM_HOT_PATH EventHandle schedule_at(TimePoint when, Fn&& fn) {
     when = admissible_time(when);
     const std::uint32_t slot = acquire_slot();
     Slot& s = slots_[slot];
@@ -208,7 +210,7 @@ class Simulator {
 
   // Schedule `fn` to run `delay` seconds from now.
   template <typename Fn>
-  EventHandle schedule_in(Duration delay, Fn&& fn) {
+  TANGRAM_HOT_PATH EventHandle schedule_in(Duration delay, Fn&& fn) {
     return schedule_at(now_ + std::max(0.0, delay), std::forward<Fn>(fn));
   }
 
@@ -220,7 +222,7 @@ class Simulator {
   // pending, so the idiomatic caller is:
   //   if (!sim.reschedule(timer, when))
   //     timer = sim.schedule_at(when, [...] { ... });
-  bool reschedule(const EventHandle& handle, TimePoint when) {
+  TANGRAM_HOT_PATH bool reschedule(const EventHandle& handle, TimePoint when) {
     if (handle.sim_ != this || !live(handle.slot_, handle.generation_))
       return false;
     when = admissible_time(when);
@@ -238,7 +240,7 @@ class Simulator {
   // Run all events with time <= horizon; the clock ends at the later of the
   // last executed event and `horizon` (if any event was pending past it the
   // clock stops at horizon).
-  std::size_t run_until(TimePoint horizon) {
+  TANGRAM_HOT_PATH std::size_t run_until(TimePoint horizon) {
     std::size_t executed = 0;
     while (!heap_.empty()) {
       const HeapEntry top = heap_[0];
@@ -264,7 +266,7 @@ class Simulator {
   }
 
   // Execute exactly one pending event.  Returns false if the queue is empty.
-  bool step() {
+  TANGRAM_HOT_PATH bool step() {
     while (!heap_.empty()) {
       const HeapEntry top = heap_[0];
       if (slots_[top.slot].live_seq != top.seq) {
@@ -352,7 +354,7 @@ class Simulator {
 
   // --- slot pool --------------------------------------------------------------
 
-  std::uint32_t acquire_slot() {
+  TANGRAM_HOT_PATH std::uint32_t acquire_slot() {
     if (!free_.empty()) {
       const std::uint32_t slot = free_.back();
       free_.pop_back();
@@ -362,12 +364,12 @@ class Simulator {
     return static_cast<std::uint32_t>(slots_.size() - 1);
   }
 
-  void release_slot(std::uint32_t slot) {
+  TANGRAM_HOT_PATH void release_slot(std::uint32_t slot) {
     Slot& s = slots_[slot];
     s.task.reset();
     s.live_seq = kNoSeq;
     ++s.generation;  // invalidates every outstanding handle to this slot
-    free_.push_back(slot);
+    free_.push_back(slot);  // reserve: freelist holds the slot-pool high-water
   }
 
   // --- 4-ary min-heap of (when, seq, slot), hole-sift style -------------------
@@ -381,7 +383,7 @@ class Simulator {
     return a.seq < b.seq;
   }
 
-  void sift_up(std::uint32_t pos) {
+  TANGRAM_HOT_PATH void sift_up(std::uint32_t pos) {
     const HeapEntry entry = heap_[pos];
     while (pos > 0) {
       const std::uint32_t parent = (pos - 1) / kArity;
@@ -392,7 +394,7 @@ class Simulator {
     heap_[pos] = entry;
   }
 
-  void sift_down(std::uint32_t pos) {
+  TANGRAM_HOT_PATH void sift_down(std::uint32_t pos) {
     const HeapEntry entry = heap_[pos];
     const auto n = static_cast<std::uint32_t>(heap_.size());
     for (;;) {
@@ -409,12 +411,12 @@ class Simulator {
     heap_[pos] = entry;
   }
 
-  void heap_push(HeapEntry entry) {
-    heap_.push_back(entry);
+  TANGRAM_HOT_PATH void heap_push(HeapEntry entry) {
+    heap_.push_back(entry);  // reserve: heap keeps its high-water capacity
     sift_up(static_cast<std::uint32_t>(heap_.size() - 1));
   }
 
-  void heap_pop_root() {
+  TANGRAM_HOT_PATH void heap_pop_root() {
     const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
     if (last > 0) {
       heap_[0] = heap_[last];

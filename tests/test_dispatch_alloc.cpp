@@ -14,7 +14,6 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -23,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alloc_probe.h"
 #include "common/rng.h"
 #include "core/estimator.h"
 #include "core/invoker.h"
@@ -31,26 +31,12 @@
 #include "sim/simulator.h"
 #include "video/scene_catalog.h"
 
-namespace {
-
-// Atomic, unlike test_sim_stress's plain counter: the golden suite below
-// runs jobs=8 worker pools, so operator new fires from several threads.
-std::atomic<std::size_t> g_new_calls{0};
-
-}  // namespace
-
-// Counting overrides; gtest's own allocations are excluded by sampling the
-// counter around the measured region only (which is single-threaded).
-void* operator new(std::size_t size) {
-  g_new_calls.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Shared probe hook (common/alloc_probe.h): its counter is atomic, which
+// matters here — the golden suite below runs jobs=8 worker pools, so
+// operator new fires from several threads.  gtest's own allocations are
+// excluded by scoping the AllocationProbe around the measured region only
+// (which is single-threaded).
+TANGRAM_DEFINE_ALLOC_PROBE_HOOK();
 
 namespace tangram::core {
 namespace {
@@ -155,12 +141,10 @@ TEST(DispatchAlloc, SteadyStateDispatchCyclesDoNotAllocate) {
   for (int w = 0; w < 200; ++w) f.window(64);
   const std::uint64_t completed_before = f.completed;
 
-  const std::size_t allocs_before = g_new_calls;
+  const common::AllocationProbe probe;
   for (int w = 0; w < 50; ++w) f.window(64);
-  const std::size_t allocs_after = g_new_calls;
 
-  EXPECT_EQ(allocs_after - allocs_before, 0u)
-      << "steady-state dispatch allocated";
+  EXPECT_EQ(probe.allocations(), 0u) << "steady-state dispatch allocated";
   // The measured region did real work: every patch round-tripped through
   // invoke and completion.
   EXPECT_EQ(f.completed - completed_before, 50u * 64u);

@@ -23,26 +23,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/alloc_probe.h"
 #include "common/rng.h"
 
-namespace {
-
-std::size_t g_new_calls = 0;
-
-}  // namespace
-
-// Counting overrides (single-threaded tests; gtest's own allocations are
-// excluded by sampling the counter around the measured region only).
-void* operator new(std::size_t size) {
-  ++g_new_calls;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Shared probe hook (common/alloc_probe.h); gtest's own allocations are
+// excluded by scoping the AllocationProbe around the measured region only.
+TANGRAM_DEFINE_ALLOC_PROBE_HOOK();
 
 namespace tangram::sim {
 namespace {
@@ -217,14 +203,14 @@ TEST(SimulatorStress, SteadyStateCyclesDoNotAllocate) {
 
   // Steady state: schedule / cancel / reschedule / fire with inline-sized
   // callbacks must perform ZERO heap allocations.
-  const std::size_t allocs_before = g_new_calls;
+  const common::AllocationProbe probe;
   for (int i = 0; i < 4096; ++i) {
     auto& h = timers[static_cast<std::size_t>(rng.uniform_int(0, 63))];
     if (!sim.reschedule(h, sim.now() + rng.uniform(0.0, 1.0)))
       h = sim.schedule_in(rng.uniform(0.0, 1.0), [&fired] { ++fired; });
     sim.run_until(sim.now() + rng.uniform(0.0, 0.01));
   }
-  EXPECT_EQ(g_new_calls - allocs_before, 0u);
+  EXPECT_EQ(probe.allocations(), 0u);
   EXPECT_GT(fired, 0u);
 }
 

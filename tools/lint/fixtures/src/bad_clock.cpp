@@ -1,0 +1,14 @@
+// wall-clock: real-clock reads outside the sanctioned funnel.
+#include <chrono>
+#include <ctime>
+
+double now_ms() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}
+
+long stamp() { return std::time(nullptr); }
+
+// invoke_time(x) and .time_since_epoch() must NOT fire the time( pattern.
+double invoke_time(double x) { return x; }

@@ -1,0 +1,7 @@
+// header-guard: the first non-comment line below is an include, not
+// `#pragma once`; and header-using-namespace fires on line 4.
+#include <vector>
+
+using namespace std;
+
+inline int twice(int v) { return v + v; }

@@ -1,0 +1,28 @@
+// hot-path-alloc / hot-path-push-back inside TANGRAM_HOT_PATH bodies only.
+#include <memory>
+#include <vector>
+
+#define TANGRAM_HOT_PATH
+
+struct Queue {
+  std::vector<int> items;
+
+  TANGRAM_HOT_PATH void push(int v) {
+    items.push_back(v);
+    auto* leak = new int(v);
+    delete leak;
+    auto boxed = std::make_unique<int>(v);
+    (void)boxed;
+  }
+
+  TANGRAM_HOT_PATH void push_reserved(int v) {
+    // reserve: capacity grown to the high-water mark during warm-up
+    items.push_back(v);
+    items.push_back(v);  // the note two lines up still covers this line
+  }
+
+  // Cold path: allocating and growing without the marker is fine.
+  void cold(int v) { items.push_back(v); }
+};
+
+TANGRAM_HOT_PATH int declared_not_defined(int);

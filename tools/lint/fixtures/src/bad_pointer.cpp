@@ -1,0 +1,12 @@
+// pointer-ordering heuristics: .get() comparisons, std::less<T*>, &a < &b.
+#include <functional>
+#include <map>
+#include <memory>
+
+bool before(const std::unique_ptr<int>& a, const std::unique_ptr<int>& b) {
+  return a.get() < b.get();
+}
+
+std::map<int*, int, std::less<int*>> g_by_addr;
+
+bool lower(int& a, int& b) { return &a < &b; }

@@ -1,0 +1,12 @@
+// raw-rng: standard engines and rand() outside common/rng.h.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen()) + rand();
+}
+
+// The tail of invoke_grand( must not fire, and neither must this comment's
+// rand() mention — the scanner works on the comment-stripped code view.
+int invoke_grand();

@@ -1,0 +1,6 @@
+// unordered-container must fire on the std:: tokens, not on the includes.
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> g_counts;
+std::unordered_set<int> g_seen;

@@ -1,0 +1,16 @@
+// A clean header: doc comment first, then the guard, then code.  Also
+// exercises inline suppression on the one sanctioned wall-clock read.
+#pragma once
+
+#include <chrono>
+
+namespace fixtures {
+
+inline double sanctioned_ms() {
+  const auto t =
+      std::chrono::steady_clock::now();  // tangram-lint: allow(wall-clock)
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}
+
+}  // namespace fixtures

@@ -1,0 +1,5 @@
+// std::unordered_map in tests/ must NOT fire: the container freeze is
+// src/-only (tests may hash-bucket scratch data without golden impact).
+#include <unordered_map>
+
+std::unordered_map<int, int> g_histogram;

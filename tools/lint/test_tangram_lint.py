@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Self-test for tangram_lint.py against the seeded fixture tree.
+
+Runs the linter over tools/lint/fixtures/ (a miniature repo layout with a
+src/ and tests/ split) twice — once bare, once with the fixture allowlist —
+and asserts the EXACT set of (path, line, rule) findings both times.  Every
+rule must fire precisely where the fixture seeds it, every negative control
+(tests/-side unordered_map, reserve-annotated push_back, inline allow(...)
+markers, comment-only mentions) must stay silent, and the allowlist must
+remove exactly its two entries' findings and nothing else.
+
+Exercised under ctest as `tangram_lint_fixtures`; a second ctest entry
+(`tangram_lint_repo`) runs the linter over the real tree and requires a
+clean exit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+LINT = HERE / "tangram_lint.py"
+FIXTURES = HERE / "fixtures"
+
+FINDING_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+# The complete ground truth for the fixture tree, bare run.
+EXPECTED_BARE = {
+    ("src/bad_unordered.cpp", 5, "unordered-container"),
+    ("src/bad_unordered.cpp", 6, "unordered-container"),
+    ("src/bad_rng.cpp", 6, "raw-rng"),
+    ("src/bad_rng.cpp", 7, "raw-rng"),
+    ("src/bad_clock.cpp", 6, "wall-clock"),
+    ("src/bad_clock.cpp", 11, "wall-clock"),
+    ("src/bad_pointer.cpp", 7, "pointer-ordering"),
+    ("src/bad_pointer.cpp", 10, "pointer-ordering"),
+    ("src/bad_pointer.cpp", 12, "pointer-ordering"),
+    ("src/bad_hot_path.cpp", 11, "hot-path-push-back"),
+    ("src/bad_hot_path.cpp", 12, "hot-path-alloc"),
+    ("src/bad_hot_path.cpp", 14, "hot-path-alloc"),
+    ("src/bad_header.h", 3, "header-guard"),
+    ("src/bad_header.h", 5, "header-using-namespace"),
+}
+
+# fixtures/allowlist.txt drops raw-rng in bad_rng.cpp and every
+# pointer-ordering finding (wildcard glob) — nothing else.
+EXPECTED_ALLOWLISTED = {
+    f
+    for f in EXPECTED_BARE
+    if not (f[0] == "src/bad_rng.cpp" and f[2] == "raw-rng")
+    and f[2] != "pointer-ordering"
+}
+
+
+def run_lint(*extra: str) -> tuple[int, set[tuple[str, int, str]]]:
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--root", str(FIXTURES), *extra],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            raise AssertionError(f"unparseable linter output line: {line!r}")
+        findings.add((m.group("path"), int(m.group("line")), m.group("rule")))
+    return proc.returncode, findings
+
+
+def check(name: str, got, want) -> int:
+    if got == want:
+        print(f"ok: {name}")
+        return 0
+    print(f"FAIL: {name}")
+    for extra in sorted(got - want) if isinstance(got, set) else []:
+        print(f"  unexpected: {extra}")
+    for missing in sorted(want - got) if isinstance(got, set) else []:
+        print(f"  missing:    {missing}")
+    if not isinstance(got, set):
+        print(f"  got {got!r}, want {want!r}")
+    return 1
+
+
+def main() -> int:
+    failures = 0
+
+    code, findings = run_lint("--no-allowlist")
+    failures += check("bare run exit status", code, 1)
+    failures += check("bare run findings", findings, EXPECTED_BARE)
+
+    code, findings = run_lint("--allowlist", str(FIXTURES / "allowlist.txt"))
+    failures += check("allowlisted run exit status", code, 1)
+    failures += check("allowlisted findings", findings, EXPECTED_ALLOWLISTED)
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
